@@ -1,0 +1,32 @@
+"""Fig. 3 — initialization time of the three schemes.
+
+Paper shape: the naïve scheme initialises fastest (it builds no bound
+bookkeeping), OptCTUP is close, BasicCTUP is the worst.
+"""
+
+from conftest import column
+
+from repro.experiments import get_experiment
+
+
+def test_fig3_initialization_time(benchmark, record_result):
+    result = benchmark.pedantic(
+        get_experiment("fig3").run, rounds=1, iterations=1
+    )
+    record_result(result)
+    by_algo = dict(zip(column(result, "algorithm"), column(result, "init ms")))
+    assert set(by_algo) == {"naive", "basic", "opt"}
+    # Wall-clock shape with generous slack (single-shot timings jitter):
+    # naive builds no bound bookkeeping and must not be materially
+    # slower than either scheme; basic keeps whole illuminated cells
+    # and must not be materially faster than opt.
+    assert by_algo["naive"] <= by_algo["basic"] * 1.4
+    assert by_algo["naive"] <= by_algo["opt"] * 1.5
+    assert by_algo["basic"] >= by_algo["opt"] * 0.7
+    # The structural part is deterministic: naive loads every place but
+    # maintains none; basic maintains the most.
+    maintained = dict(
+        zip(column(result, "algorithm"), column(result, "maintained"))
+    )
+    assert maintained["naive"] == 0
+    assert maintained["basic"] > maintained["opt"]

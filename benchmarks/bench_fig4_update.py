@@ -1,0 +1,35 @@
+"""Fig. 4 — per-update cost of the three schemes.
+
+Paper shape: OptCTUP clearly outperforms both; BasicCTUP beats Naïve
+but stays well behind OptCTUP. Wall-clock and machine-independent
+counters (distance evaluations per update) must both rank
+opt < basic < naive.
+"""
+
+from conftest import column
+
+from repro.experiments import get_experiment
+
+
+def test_fig4_update_cost(benchmark, record_result):
+    result = benchmark.pedantic(
+        get_experiment("fig4").run, rounds=1, iterations=1
+    )
+    record_result(result)
+    algos = column(result, "algorithm")
+    ms = dict(zip(algos, column(result, "avg update ms")))
+    work = dict(zip(algos, column(result, "dist evals/upd")))
+    maintained = dict(zip(algos, column(result, "maintained peak")))
+
+    # wall-clock ordering: opt < basic < naive.
+    assert ms["opt"] < ms["basic"] < ms["naive"]
+    # the naive gap is large (the paper's headline claim).
+    assert ms["naive"] > 3 * ms["opt"]
+
+    # machine-independent work tells the same story more starkly.
+    assert work["opt"] < work["basic"] < work["naive"]
+    assert work["basic"] > 3 * work["opt"]
+    assert work["naive"] > 20 * work["basic"]
+
+    # drawback 2: opt maintains far fewer places than basic.
+    assert maintained["opt"] * 5 < maintained["basic"]

@@ -1,0 +1,20 @@
+"""Fig. 5 — update cost varying k.
+
+Paper shape: OptCTUP stays below BasicCTUP across the whole sweep.
+"""
+
+from conftest import column
+
+from repro.experiments import get_experiment
+
+
+def test_fig5_vary_k(benchmark, record_result):
+    result = benchmark.pedantic(
+        get_experiment("fig5").run, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert column(result, "k") == [5, 10, 15, 20, 25]
+    basic = column(result, "basic ms/upd")
+    opt = column(result, "opt ms/upd")
+    for k, b, o in zip(column(result, "k"), basic, opt):
+        assert o < b, f"opt should beat basic at k={k}"

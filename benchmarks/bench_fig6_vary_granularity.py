@@ -1,0 +1,24 @@
+"""Fig. 6 — update cost varying the partitioning granularity.
+
+Paper shape: OptCTUP stays below BasicCTUP for every granularity.
+"""
+
+from conftest import column
+
+from repro.experiments import get_experiment
+
+
+def test_fig6_vary_granularity(benchmark, record_result):
+    result = benchmark.pedantic(
+        get_experiment("fig6").run, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert column(result, "granularity") == [5, 10, 15, 20, 25]
+    basic = column(result, "basic ms/upd")
+    opt = column(result, "opt ms/upd")
+    for g, b, o in zip(column(result, "granularity"), basic, opt):
+        assert o < b, f"opt should beat basic at granularity={g}"
+    # finer grids mean more (cheaper) cells for basic to flash through:
+    # its illumination count grows with granularity.
+    basic_cells = column(result, "basic cells/upd")
+    assert basic_cells[-1] > basic_cells[0]

@@ -1,0 +1,24 @@
+"""Fig. 7 — update cost varying the protection range.
+
+Paper shape: OptCTUP stays below BasicCTUP for every range; larger
+protection disks touch more cells per update, so both schemes get more
+expensive as the range grows.
+"""
+
+from conftest import column
+
+from repro.experiments import get_experiment
+
+
+def test_fig7_vary_range(benchmark, record_result):
+    result = benchmark.pedantic(
+        get_experiment("fig7").run, rounds=1, iterations=1
+    )
+    record_result(result)
+    assert column(result, "range") == [0.05, 0.1, 0.15, 0.2, 0.25]
+    basic = column(result, "basic ms/upd")
+    opt = column(result, "opt ms/upd")
+    for r, b, o in zip(column(result, "range"), basic, opt):
+        assert o < b, f"opt should beat basic at range={r}"
+    # a 5x larger disk must cost more than the smallest one.
+    assert basic[-1] > basic[0]

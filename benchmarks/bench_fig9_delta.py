@@ -1,0 +1,32 @@
+"""Fig. 9 — the update-cost split while varying Δ.
+
+Paper shape: as Δ grows, more places are maintained (the maintain part
+of the cost rises) and cells are accessed less often (the access part
+falls). The machine-independent signatures — maintained-place counts
+and cell-access rates — must be monotone; the wall-clock parts follow
+them with jitter tolerance.
+"""
+
+from conftest import column
+
+from repro.experiments import get_experiment
+
+
+def test_fig9_delta_split(benchmark, record_result):
+    result = benchmark.pedantic(
+        get_experiment("fig9").run, rounds=1, iterations=1
+    )
+    record_result(result)
+    deltas = column(result, "delta")
+    assert deltas == [0, 2, 4, 6, 8, 10]
+    maintained = column(result, "maintained peak")
+    cells = column(result, "cells/upd")
+    # more slack -> strictly more maintained places.
+    assert maintained == sorted(maintained)
+    assert maintained[-1] > maintained[0]
+    # more slack -> monotonically fewer cell accesses.
+    assert cells == sorted(cells, reverse=True)
+    assert cells[-1] < cells[0]
+    # the wall-clock access part follows the access rate end to end.
+    access_ms = column(result, "access ms/upd")
+    assert access_ms[-1] < access_ms[0]

@@ -1,0 +1,17 @@
+"""Table III — the default configuration, archived for the record."""
+
+from repro.experiments import get_experiment
+
+
+def test_table3_defaults(benchmark, record_result):
+    result = benchmark.pedantic(
+        get_experiment("table3").run, rounds=1, iterations=1
+    )
+    record_result(result)
+    values = dict((row[0], row[1]) for row in result.rows)
+    assert values["Number of units (|U|)"] == 150
+    assert values["Number of places (|P|)"] == 15_000
+    assert values["Number of TUPs (k)"] == 15
+    assert values["Adjustable Parameter (delta)"] == 6
+    assert values["Unit Protection Range"] == 0.1
+    assert values["Partition Granularity"] == 10

@@ -1,0 +1,36 @@
+"""Shared machinery for the benchmark suite.
+
+Each benchmark regenerates one paper artefact through the experiment
+registry, asserts its expected *shape* (who wins, how trends move), and
+archives the regenerated series under ``bench_results/`` so
+EXPERIMENTS.md can cite the exact numbers.
+
+Workload scale comes from ``REPRO_BENCH_SCALE`` (default 1.0 = the
+paper's Table III sizes).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "bench_results"
+
+
+@pytest.fixture
+def record_result():
+    """Persist an ExperimentResult for the experiment log."""
+
+    def save(result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.to_text() + "\n")
+
+    return save
+
+
+def column(result, name: str) -> list:
+    """Extract one column of an ExperimentResult by header name."""
+    index = result.headers.index(name)
+    return [row[index] for row in result.rows]

@@ -1,0 +1,90 @@
+"""Post-incident analysis with the result history.
+
+After a shift, the duty commander wants to know which places spent the
+longest time among the top-k unsafe — and whether a specific place was
+exposed at the moment an incident was called in. :class:`TopKHistory`
+answers both from the recorded change log, without re-running anything.
+
+Run:  python examples/exposure_report.py
+"""
+
+from collections import defaultdict
+
+from repro import CTUPConfig, OptCTUP
+from repro.bench.reporting import format_table
+from repro.core import ChangeTracker, TopKHistory
+from repro.roadnet import NetworkMobility, grid_network
+from repro.workloads import generate_places, record_stream
+
+
+def main() -> None:
+    config = CTUPConfig(k=10, delta=4, protection_range=0.1, granularity=10)
+    places = generate_places(6_000, seed=29)
+    mobility = NetworkMobility(
+        grid_network(seed=12), count=70, speed=0.005, report_distance=0.005,
+        seed=31,
+    )
+    units = mobility.initial_units(config.protection_range)
+    stream = record_stream(mobility, 2_500)
+
+    tracker = ChangeTracker(OptCTUP(config, places, units))
+    tracker.initialize()
+    history = TopKHistory(tracker)
+    history.start(timestamp=0.0)
+    for update in stream:
+        tracker.process(update)
+    shift_end = stream[len(stream) - 1].timestamp
+    print(
+        f"shift complete: {len(stream)} updates, "
+        f"{history.change_count} top-{config.k} changes recorded\n"
+    )
+
+    # total exposure per place that was ever top-k.
+    ever_exposed: set[int] = set(tracker.monitor.topk_ids())
+    exposures = defaultdict(float)
+    for pid in list(ever_exposed):
+        exposures[pid] = history.total_exposure(pid, now=shift_end)
+    # places that entered at some point during the shift:
+    for change in history._changes:
+        for record in change.entered:
+            if record.place_id not in exposures:
+                exposures[record.place_id] = history.total_exposure(
+                    record.place_id, now=shift_end
+                )
+
+    place_by_id = {p.place_id: p for p in places}
+    worst = sorted(exposures.items(), key=lambda kv: -kv[1])[:8]
+    print(
+        format_table(
+            ["place", "kind", "exposed (time units)", "% of shift"],
+            [
+                [
+                    pid,
+                    place_by_id[pid].kind,
+                    seconds,
+                    100 * seconds / shift_end,
+                ]
+                for pid, seconds in worst
+            ],
+            title="longest-exposed places this shift",
+        )
+    )
+
+    # was the worst offender exposed mid-shift?
+    suspect, _ = worst[0]
+    incident_time = shift_end / 2
+    verdict = history.was_topk(suspect, incident_time)
+    print(
+        f"\nincident at t={incident_time:.0f}: place #{suspect} "
+        f"({place_by_id[suspect].kind}) was "
+        f"{'EXPOSED' if verdict else 'covered'} at that moment"
+    )
+    intervals = history.exposures(suspect)
+    print(f"its exposure intervals: {len(intervals)}")
+    for exposure in intervals[:5]:
+        end = "ongoing" if exposure.left_at is None else f"{exposure.left_at:.0f}"
+        print(f"  t={exposure.entered_at:.0f} .. {end}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""A text dashboard over the built-in city scenarios.
+
+For every named scenario: tune the grid to the workload, run OptCTUP
+with a per-update timeline, self-audit the final state against brute
+force, and print a compact report with sparklines of how the maintained
+band and SK evolved.
+
+Run:  python examples/scenario_dashboard.py
+"""
+
+from repro.bench import Timeline
+from repro.core import CTUPConfig, OptCTUP, audit_monitor
+from repro.core.tuning import suggest_granularity
+from repro.workloads import SCENARIOS, build_scenario
+
+N_PLACES = 4_000
+N_UNITS = 50
+RANGE = 0.1
+STREAM = 800
+
+
+def main() -> None:
+    for name in sorted(SCENARIOS):
+        world = build_scenario(
+            name,
+            seed=7,
+            n_places=N_PLACES,
+            n_units=N_UNITS,
+            protection_range=RANGE,
+            stream_length=STREAM,
+        )
+        granularity = suggest_granularity(N_PLACES, RANGE)
+        config = CTUPConfig(
+            k=10, delta=4, protection_range=RANGE, granularity=granularity
+        )
+        monitor = OptCTUP(config, world.places, world.units)
+        monitor.initialize()
+        timeline = Timeline()
+        timeline.record(monitor, world.stream)
+        summary = timeline.summary()
+        problems = audit_monitor(monitor)
+
+        print(f"━━ {name} ({SCENARIOS[name].description})")
+        print(
+            f"   grid {granularity}x{granularity}, "
+            f"SK {summary.sk_start:+.0f} -> {summary.sk_end:+.0f} "
+            f"(moved {summary.sk_changes}x), "
+            f"p95 update {summary.update_ms_p95:.2f} ms"
+        )
+        print(
+            f"   maintained  {timeline.sparkline(width=48)}  "
+            f"(mean {summary.maintained_mean:.0f}, max {summary.maintained_max})"
+        )
+        print(
+            f"   SK          "
+            f"{timeline.sparkline(values=timeline.sk, width=48)}"
+        )
+        print(
+            f"   accesses: {summary.accesses_total} total over "
+            f"{summary.updates} updates "
+            f"({summary.updates_with_access} updates touched a cell)"
+        )
+        print(f"   self-audit: {'CLEAN' if not problems else problems[:2]}")
+        assert not problems
+        print()
+
+
+if __name__ == "__main__":
+    main()

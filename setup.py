@@ -1,0 +1,6 @@
+"""Legacy shim: this environment has setuptools without the wheel
+package, so editable installs need the pre-PEP-517 path."""
+
+from setuptools import setup
+
+setup()

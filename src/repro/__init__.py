@@ -1,0 +1,62 @@
+"""repro — a reproduction of "On Monitoring the top-k Unsafe Places".
+
+Zhang, Du and Hu (ICDE 2008) define the Continuous Top-k Unsafe Places
+(CTUP) query: as protecting units (police cars) stream location updates,
+continuously report the k places whose safety — actual protection minus
+required protection — is smallest. This package implements the paper's
+two schemes (BasicCTUP, OptCTUP with the Decrease Once Optimization),
+the naïve baseline, the substrates they rest on (grid partition,
+two-level storage, network-based moving-object workload) and the full
+benchmark harness reproducing the paper's evaluation.
+
+Quickstart::
+
+    from repro import CTUPConfig, OptCTUP, generate_places, generate_units
+    from repro.workloads import RandomWalkMobility, record_stream
+
+    config = CTUPConfig(k=10)
+    places = generate_places(5000, seed=1)
+    units = generate_units(100, config.protection_range, seed=2)
+    monitor = OptCTUP(config, places, units)
+    monitor.initialize()
+    for update in record_stream(RandomWalkMobility(units, seed=3), 1000):
+        monitor.process(update)
+        print(monitor.top_k()[0])
+"""
+
+from repro.core import (
+    BasicCTUP,
+    ChangeTracker,
+    CTUPConfig,
+    CTUPMonitor,
+    NaiveCTUP,
+    OptCTUP,
+    TopKChange,
+)
+from repro.geometry import Circle, Point, Rect
+from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+from repro.validate import Oracle
+from repro.workloads import generate_places, generate_units
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CTUPConfig",
+    "CTUPMonitor",
+    "NaiveCTUP",
+    "BasicCTUP",
+    "OptCTUP",
+    "ChangeTracker",
+    "TopKChange",
+    "Place",
+    "Unit",
+    "LocationUpdate",
+    "SafetyRecord",
+    "Point",
+    "Rect",
+    "Circle",
+    "Oracle",
+    "generate_places",
+    "generate_units",
+    "__version__",
+]

@@ -1,0 +1,124 @@
+"""Monitor execution and measurement."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.bench.workload import Workload
+from repro.core import BasicCTUP, CTUPConfig, NaiveCTUP, OptCTUP
+from repro.core.metrics import InitReport, MonitorCounters
+from repro.core.monitor import CTUPMonitor
+from repro.model import Place, Unit
+from repro.storage.iostats import IoStats
+from repro.validate import Oracle
+
+MonitorFactory = Callable[[CTUPConfig, Sequence[Place], Sequence[Unit]], CTUPMonitor]
+
+#: the three schemes of §VI by their table name.
+MONITOR_FACTORIES: dict[str, MonitorFactory] = {
+    "naive": NaiveCTUP,
+    "basic": BasicCTUP,
+    "opt": OptCTUP,
+}
+
+
+@dataclass
+class RunResult:
+    """Measurements from one monitor over one workload."""
+
+    algorithm: str
+    init: InitReport
+    counters: MonitorCounters
+    #: counters restricted to the update phase (init work subtracted).
+    update_counters: MonitorCounters
+    io: IoStats
+    n_updates: int
+    wall_seconds: float
+    final_sk: float
+    validated: bool = False
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def init_ms(self) -> float:
+        return self.init.seconds * 1e3
+
+    @property
+    def avg_update_ms(self) -> float:
+        if self.n_updates == 0:
+            return 0.0
+        return self.wall_seconds / self.n_updates * 1e3
+
+    @property
+    def avg_maintain_ms(self) -> float:
+        if self.n_updates == 0:
+            return 0.0
+        return self.counters.time_maintain_s / self.n_updates * 1e3
+
+    @property
+    def avg_access_ms(self) -> float:
+        if self.n_updates == 0:
+            return 0.0
+        return self.counters.time_access_s / self.n_updates * 1e3
+
+    @property
+    def cells_per_update(self) -> float:
+        if self.n_updates == 0:
+            return 0.0
+        init_cells = self.init.cells_accessed
+        return (self.counters.cells_accessed - init_cells) / self.n_updates
+
+
+def run_monitor(
+    algorithm: str,
+    config: CTUPConfig,
+    workload: Workload,
+    updates: int | None = None,
+    validate: bool = True,
+    factory: MonitorFactory | None = None,
+) -> RunResult:
+    """Initialize a monitor, replay the stream, measure, and self-check.
+
+    When ``validate`` is on, the final reported top-k is checked against
+    the brute-force oracle — every benchmark run doubles as an
+    end-to-end correctness test.
+    """
+    if factory is None:
+        try:
+            factory = MONITOR_FACTORIES[algorithm]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; "
+                f"pick one of {sorted(MONITOR_FACTORIES)}"
+            ) from None
+    monitor = factory(config, workload.places, workload.units)
+    init = monitor.initialize()
+    after_init = monitor.counters.snapshot()
+    stream = workload.stream if updates is None else workload.stream.prefix(updates)
+    start = time.perf_counter()
+    n = monitor.run_stream(stream)
+    wall = time.perf_counter() - start
+    validated = False
+    if validate:
+        oracle = Oracle(workload.places, workload.units)
+        for update in stream:
+            oracle.apply(update)
+        verdict = oracle.validate(monitor.top_k(), config.k)
+        if not verdict.ok:
+            raise AssertionError(
+                f"{algorithm} reported an invalid top-k after {n} updates: "
+                f"{verdict.problems[:5]}"
+            )
+        validated = True
+    return RunResult(
+        algorithm=algorithm,
+        init=init,
+        counters=monitor.counters.snapshot(),
+        update_counters=monitor.counters.snapshot() - after_init,
+        io=monitor.store.io_stats.snapshot(),
+        n_updates=n,
+        wall_seconds=wall,
+        final_sk=monitor.sk(),
+        validated=validated,
+    )

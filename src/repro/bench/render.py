@@ -1,0 +1,78 @@
+"""ASCII rendering of the monitoring state.
+
+A terminal picture of the grid is worth a counter dump when debugging
+bound maintenance or explaining the schemes: each cell is one character
+showing how close its lower bound sits to SK, with the cells holding
+current top-k places highlighted. Works for both grid monitors (they
+share the ``cell_states`` shape).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.basic import BasicCTUP
+from repro.core.monitor import CTUPMonitor
+
+#: bound "temperature" ramp: how far above SK a cell's bound sits.
+_RAMP = "#@%+=-. "
+
+
+def render_cell_map(monitor: CTUPMonitor, legend: bool = True) -> str:
+    """The monitor's grid as a text map (row 0 printed at the bottom).
+
+    ``!`` marks cells holding a current top-k place, ``#`` a bound at or
+    below SK (the cell is — or is about to be — interesting), cooling
+    through the ramp to a space for far-away bounds; ``.``-to-space are
+    comfortably safe cells, and empty cells print as ``·``.
+    """
+    cell_states = getattr(monitor, "cell_states", None)
+    if cell_states is None:
+        raise TypeError(
+            f"{monitor.name} has no grid state to render (naïve monitors "
+            "keep no per-cell information)"
+        )
+    grid = monitor.grid
+    sk = monitor.sk()
+    top_cells = {
+        grid.cell_of(record.place.location) for record in monitor.top_k()
+    }
+    rows = []
+    for j in reversed(range(grid.ny)):
+        row = []
+        for i in range(grid.nx):
+            cell = (i, j)
+            state = cell_states.get(cell)
+            if state is None:
+                row.append("·")
+            elif cell in top_cells:
+                row.append("!")
+            elif isinstance(monitor, BasicCTUP) and state.illuminated:
+                row.append("*")
+            else:
+                row.append(_bound_char(state.lower_bound, sk))
+        rows.append("".join(row))
+    text = "\n".join(rows)
+    if legend:
+        text += (
+            f"\n[!] top-k cell   [*] illuminated   "
+            f"[#..{_RAMP[-2]}] bound distance to SK ({_fmt(sk)})   "
+            f"[·] empty"
+        )
+    return text
+
+
+def _bound_char(bound: float, sk: float) -> str:
+    if math.isinf(bound):
+        return " "
+    if math.isinf(sk):
+        return _RAMP[-2]
+    distance = bound - sk
+    if distance <= 0:
+        return _RAMP[0]
+    index = min(int(distance), len(_RAMP) - 1)
+    return _RAMP[index]
+
+
+def _fmt(value: float) -> str:
+    return "inf" if math.isinf(value) else f"{value:+.0f}"

@@ -1,0 +1,84 @@
+"""Markdown report generation for the whole evaluation.
+
+``ctup report`` runs every registered experiment and writes one
+self-contained markdown document: the regenerated series as tables, the
+expected shape next to each, and the environment it ran in. This is the
+mechanised version of EXPERIMENTS.md — regenerate it on any machine to
+refresh the measured numbers.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments import all_experiments
+from repro.experiments.registry import Experiment, ExperimentResult
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    from repro.bench.reporting import format_value
+
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(format_value(value) for value in row) + " |"
+        )
+    return "\n".join(lines)
+
+
+def _render_experiment(
+    experiment: Experiment, result: ExperimentResult, seconds: float
+) -> str:
+    parts = [
+        f"## {experiment.paper_ref} — {experiment.title}",
+        "",
+        f"*Expected shape:* {experiment.expected_shape}.",
+        "",
+        _markdown_table(result.headers, result.rows),
+        "",
+    ]
+    for note in result.notes:
+        parts.append(f"> {note}")
+    parts.append("")
+    parts.append(f"*Regenerated in {seconds:.1f}s.*")
+    parts.append("")
+    return "\n".join(parts)
+
+
+def generate_report(
+    scale: float | None = None,
+    seed: int = 0,
+    experiment_ids: Sequence[str] | None = None,
+) -> str:
+    """Run experiments and return the full markdown report."""
+    experiments = all_experiments()
+    if experiment_ids is not None:
+        wanted = set(experiment_ids)
+        experiments = [
+            e for e in experiments if e.experiment_id in wanted
+        ]
+        missing = wanted - {e.experiment_id for e in experiments}
+        if missing:
+            raise KeyError(f"unknown experiments: {sorted(missing)}")
+    sections = [
+        "# CTUP reproduction — measured results",
+        "",
+        f"Environment: Python {sys.version.split()[0]} on "
+        f"{platform.system()} {platform.machine()}; "
+        f"workload scale {scale if scale is not None else 'default'}, "
+        f"seed {seed}.",
+        "",
+        "Every run below is validated against the brute-force oracle "
+        "before its numbers are reported.",
+        "",
+    ]
+    for experiment in experiments:
+        start = time.perf_counter()
+        result = experiment.run(scale=scale, seed=seed)
+        elapsed = time.perf_counter() - start
+        sections.append(_render_experiment(experiment, result, elapsed))
+    return "\n".join(sections)

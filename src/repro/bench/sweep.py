@@ -1,0 +1,32 @@
+"""Parameter sweeps (the x-axes of Figures 5-9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.bench.harness import RunResult
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-value of a sweep with the per-algorithm results."""
+
+    x: float | int
+    results: dict[str, RunResult]
+
+    def avg_update_ms(self, algorithm: str) -> float:
+        return self.results[algorithm].avg_update_ms
+
+
+def sweep(
+    values: Sequence,
+    run_point: Callable[[object], dict[str, RunResult]],
+) -> list[SweepPoint]:
+    """Evaluate ``run_point`` at every x-value.
+
+    ``run_point`` receives the x-value and returns per-algorithm
+    results; keeping it a callback lets each figure decide what the
+    x-axis changes (k, granularity, range, |P|, Δ) and what stays fixed.
+    """
+    return [SweepPoint(x=value, results=run_point(value)) for value in values]

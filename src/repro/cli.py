@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+``ctup list`` shows every registered experiment; ``ctup run fig4``
+regenerates one paper artefact and prints its series; ``ctup run all``
+walks the whole evaluation. ``--scale`` shrinks workloads for quick
+looks (1.0 = Table III sizes).
+
+The entry point is installed as ``ctup`` and also runs as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments import all_experiments, get_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ctup",
+        description=(
+            "Reproduction harness for 'On Monitoring the top-k Unsafe "
+            "Places' (ICDE 2008)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all registered experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help="experiment id (fig3..fig9, table3, ablation_*, or 'all')",
+    )
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale factor; 1.0 = paper sizes (default: "
+        "REPRO_BENCH_SCALE or 1.0)",
+    )
+    run.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="run every experiment and write a markdown results report",
+    )
+    report.add_argument(
+        "--out",
+        default="MEASURED.md",
+        help="output path (default MEASURED.md; '-' prints to stdout)",
+    )
+    report.add_argument("--scale", type=float, default=None)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="restrict to these experiment ids",
+    )
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="run a named scenario live and print a dashboard",
+    )
+    simulate.add_argument(
+        "scenario", help="scenario name (see repro.workloads.SCENARIOS)"
+    )
+    simulate.add_argument("--updates", type=int, default=1_000)
+    simulate.add_argument("--k", type=int, default=10)
+    simulate.add_argument("--places", type=int, default=4_000)
+    simulate.add_argument("--units", type=int, default=50)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--map", action="store_true", help="render the final cell map"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for experiment in all_experiments():
+        print(
+            f"{experiment.experiment_id:22s} {experiment.paper_ref:14s} "
+            f"{experiment.title}"
+        )
+        print(f"{'':22s} expected: {experiment.expected_shape}")
+    return 0
+
+
+def _cmd_run(experiment_id: str, scale: float | None, seed: int) -> int:
+    if experiment_id == "all":
+        targets = all_experiments()
+    else:
+        targets = [get_experiment(experiment_id)]
+    for experiment in targets:
+        start = time.perf_counter()
+        result = experiment.run(scale=scale, seed=seed)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"  ({experiment.paper_ref}; regenerated in {elapsed:.1f}s)")
+        print()
+    return 0
+
+
+def _cmd_report(out: str, scale: float | None, seed: int, only) -> int:
+    from repro.bench.report import generate_report
+
+    text = generate_report(scale=scale, seed=seed, experiment_ids=only)
+    if out == "-":
+        print(text)
+    else:
+        with open(out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {out}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.sim import Simulation
+
+    sim = Simulation.from_scenario(
+        args.scenario,
+        k=args.k,
+        n_places=args.places,
+        n_units=args.units,
+        seed=args.seed,
+    )
+    outcome = sim.run(updates=args.updates)
+    summary = outcome.summary
+    print(
+        f"{args.scenario}: {outcome.updates} updates, "
+        f"SK {summary.sk_start:+.0f} -> {summary.sk_end:+.0f} "
+        f"({summary.sk_changes} moves), "
+        f"{len(outcome.changes)} result changes"
+    )
+    print(
+        f"cost: p50 {summary.update_ms_p50:.3f} ms, "
+        f"p95 {summary.update_ms_p95:.3f} ms per update; "
+        f"{summary.accesses_total} cell accesses; "
+        f"maintained mean {summary.maintained_mean:.0f} "
+        f"max {summary.maintained_max}"
+    )
+    print("\ncurrent top unsafe places:")
+    for rank, record in enumerate(outcome.final_topk, start=1):
+        print(
+            f"  {rank:2d}. {record.place.kind:14s} #{record.place_id:<6d} "
+            f"safety {record.safety:+.0f}"
+        )
+    if args.map:
+        from repro.bench.render import render_cell_map
+
+        print()
+        print(render_cell_map(sim.monitor))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.scale, args.seed)
+    if args.command == "report":
+        return _cmd_report(args.out, args.scale, args.seed, args.only)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Runtime-adaptive Δ.
+
+Fig. 9 shows Δ trading maintained-place cost against cell-access cost,
+and the right value shifts with the workload (fleet density, place
+skew, movement tempo). Instead of fixing Δ offline,
+:class:`AdaptiveDeltaController` watches the monitor's own counters over
+a sliding window and nudges the live Δ towards balance:
+
+* accesses dominating the window → raise Δ (buy more slack);
+* the maintained band ballooning while accesses are rare → lower Δ.
+
+Changing Δ at runtime is sound for any non-negative value: Δ only
+decides how much of a freshly accessed cell stays maintained, never the
+bound arithmetic, so results remain exact throughout (the tests validate
+against the oracle while Δ moves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import MonitorCounters
+from repro.core.opt import OptCTUP
+from repro.model import LocationUpdate
+
+
+@dataclass
+class AdaptationStep:
+    """One window's decision (kept for inspection/telemetry)."""
+
+    at_update: int
+    accesses: int
+    maintained: int
+    delta_before: float
+    delta_after: float
+
+
+class AdaptiveDeltaController:
+    """Drives an OptCTUP while retuning Δ from its counters.
+
+    Parameters
+    ----------
+    monitor:
+        the OptCTUP instance to drive.
+    window:
+        updates between adaptation decisions.
+    access_target:
+        desired cell accesses per update; more than this raises Δ.
+    maintained_budget:
+        soft cap on maintained places; exceeding it (while accesses are
+        under target) lowers Δ.
+    delta_min / delta_max:
+        bounds on the live Δ.
+    """
+
+    def __init__(
+        self,
+        monitor: OptCTUP,
+        window: int = 200,
+        access_target: float = 0.25,
+        maintained_budget: int = 2_000,
+        delta_min: float = 0.0,
+        delta_max: float = 16.0,
+        step: float = 2.0,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if delta_min < 0 or delta_max < delta_min:
+            raise ValueError("need 0 <= delta_min <= delta_max")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.monitor = monitor
+        self.window = window
+        self.access_target = access_target
+        self.maintained_budget = maintained_budget
+        self.delta_min = delta_min
+        self.delta_max = delta_max
+        self.step = step
+        self.history: list[AdaptationStep] = []
+        self._seen = 0
+        self._window_start: MonitorCounters = monitor.counters.snapshot()
+
+    def process(self, update: LocationUpdate):
+        """Feed one update; adapt Δ at window boundaries."""
+        report = self.monitor.process(update)
+        self._seen += 1
+        if self._seen % self.window == 0:
+            self._adapt()
+        return report
+
+    def run_stream(self, updates) -> int:
+        count = 0
+        for update in updates:
+            self.process(update)
+            count += 1
+        return count
+
+    def _adapt(self) -> None:
+        now = self.monitor.counters.snapshot()
+        window_counters = now - self._window_start
+        self._window_start = now
+        accesses = window_counters.cells_accessed
+        access_rate = accesses / self.window
+        maintained = len(self.monitor.maintained)
+        before = self.monitor.delta
+        after = before
+        if access_rate > self.access_target:
+            after = min(self.delta_max, before + self.step)
+        elif maintained > self.maintained_budget:
+            after = max(self.delta_min, before - self.step)
+        if after != before:
+            self.monitor.delta = after
+        self.history.append(
+            AdaptationStep(
+                at_update=self._seen,
+                accesses=accesses,
+                maintained=maintained,
+                delta_before=before,
+                delta_after=after,
+            )
+        )
+
+    @property
+    def current_delta(self) -> float:
+        return self.monitor.delta

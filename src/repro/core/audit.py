@@ -1,0 +1,100 @@
+"""Invariant auditing for the grid monitors.
+
+The schemes' correctness rests on a handful of invariants (dark-cell
+bounds never exceed the true minimum, maintained safeties are exact,
+every top-k place is tracked). :func:`audit_monitor` checks them against
+a brute-force recomputation and returns human-readable violations — an
+empty list means the monitor's state is sound.
+
+This is test infrastructure promoted to a public API: a deployment can
+run it periodically (it costs one full safety recomputation) as a
+self-check, and bug reports can attach its output.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.basic import BasicCTUP
+from repro.core.monitor import CTUPMonitor
+from repro.core.opt import OptCTUP
+from repro.validate import Oracle
+
+
+def audit_monitor(monitor: CTUPMonitor) -> list[str]:
+    """All invariant violations of a monitor's current state."""
+    oracle = Oracle(
+        list(monitor.store.iter_all_places()), list(monitor.units)
+    )
+    problems: list[str] = []
+    problems.extend(_audit_result(monitor, oracle))
+    if isinstance(monitor, OptCTUP):
+        problems.extend(_audit_opt(monitor, oracle))
+    elif isinstance(monitor, BasicCTUP):
+        problems.extend(_audit_basic(monitor, oracle))
+    return problems
+
+
+def _audit_result(monitor: CTUPMonitor, oracle: Oracle) -> list[str]:
+    verdict = oracle.validate(monitor.top_k(), monitor.config.k)
+    return [f"result: {problem}" for problem in verdict.problems]
+
+
+def _cell_minima(monitor, truth, exclude: set[int]) -> dict:
+    minima: dict = {}
+    for place in monitor.store.iter_all_places():
+        if place.place_id in exclude:
+            continue
+        cell = monitor.grid.cell_of(place.location)
+        value = truth[place.place_id]
+        minima[cell] = min(minima.get(cell, math.inf), value)
+    return minima
+
+
+def _audit_basic(monitor: BasicCTUP, oracle: Oracle) -> list[str]:
+    problems = []
+    truth = oracle.safeties()
+    maintained = monitor.maintained.safeties_snapshot()
+    minima = _cell_minima(monitor, truth, exclude=set())
+    for cell, state in monitor.cell_states.items():
+        if state.illuminated:
+            continue
+        if state.lower_bound > minima.get(cell, math.inf) + 1e-9:
+            problems.append(
+                f"basic: dark cell {cell} bound {state.lower_bound} exceeds "
+                f"true minimum {minima.get(cell)}"
+            )
+    for pid, safety in maintained.items():
+        if truth[pid] != safety:
+            problems.append(
+                f"basic: maintained place {pid} has stale safety "
+                f"{safety} (true {truth[pid]})"
+            )
+    return problems
+
+
+def _audit_opt(monitor: OptCTUP, oracle: Oracle) -> list[str]:
+    problems = []
+    truth = oracle.safeties()
+    maintained = monitor.maintained.safeties_snapshot()
+    for pid, safety in maintained.items():
+        if truth[pid] != safety:
+            problems.append(
+                f"opt: maintained place {pid} has stale safety "
+                f"{safety} (true {truth[pid]})"
+            )
+    minima = _cell_minima(monitor, truth, exclude=set(maintained))
+    for cell, state in monitor.cell_states.items():
+        if state.lower_bound > minima.get(cell, math.inf) + 1e-9:
+            problems.append(
+                f"opt: cell {cell} bound {state.lower_bound} exceeds the "
+                f"minimum non-maintained safety {minima.get(cell)}"
+            )
+    sk = oracle.sk(monitor.config.k)
+    for pid, value in truth.items():
+        if value < sk and pid not in maintained:
+            problems.append(
+                f"opt: place {pid} (safety {value} < SK {sk}) is not "
+                f"maintained"
+            )
+    return problems

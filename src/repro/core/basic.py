@@ -1,0 +1,217 @@
+"""BasicCTUP (§III): dark and illuminated cells.
+
+Every grid cell is either *dark* — the monitor knows only a lower bound
+on the safeties of the places inside it — or *illuminated* — all its
+places are held in memory with exact safeties. The scheme guarantees
+that every cell containing a top-k unsafe place is illuminated, so the
+answer can always be read off the maintained places.
+
+Per location update (§III-C):
+
+1. adjust the safeties of all maintained places,
+2. adjust the lower bound of every affected dark cell per Table I,
+3. illuminate every dark cell whose bound fell below ``SK``,
+4. darken every illuminated cell that holds no top-k place.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Iterable, Sequence
+
+from repro.core.config import CTUPConfig
+from repro.core.metrics import InitReport, UpdateReport
+from repro.core.monitor import CTUPMonitor
+from repro.core.tables import table1_delta
+from repro.core.topk import MaintainedPlaces
+from repro.geometry import Circle, Point
+from repro.geometry.relations import classify_circle_rect
+from repro.grid.cellstate import CellState
+from repro.grid.partition import CellId
+from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+
+
+class BasicCTUP(CTUPMonitor):
+    """The basic grid-bound scheme of Section III."""
+
+    name = "basic"
+
+    def __init__(
+        self,
+        config: CTUPConfig,
+        places: Sequence[Place],
+        units: Iterable[Unit],
+    ) -> None:
+        super().__init__(config, places, units)
+        #: per-cell state for cells that contain at least one place;
+        #: empty cells can never hold an unsafe place and stay implicit.
+        self.cell_states: dict[CellId, CellState] = {}
+        self.maintained = MaintainedPlaces()
+
+    # -- initialization (§III-B) -----------------------------------------
+
+    def initialize(self) -> InitReport:
+        self._require_not_initialized()
+        start = time.perf_counter()
+        for cell in self.store.occupied_cells():
+            arrays = self.store.cell_arrays(cell)
+            ap, compared = self.units.ap_counts_near(
+                arrays.xs, arrays.ys, self.grid.cell_rect(cell)
+            )
+            safeties = ap - arrays.required
+            self.counters.distance_rows += len(arrays) * compared
+            self.counters.places_loaded += len(arrays)
+            self.cell_states[cell] = CellState(
+                lower_bound=float(safeties.min()),
+                place_count=len(arrays),
+            )
+        # illuminate cells in increasing bound order until SK covers the rest.
+        by_bound = sorted(
+            self.cell_states, key=lambda c: self.cell_states[c].lower_bound
+        )
+        for cell in by_bound:
+            if self.sk() <= self.cell_states[cell].lower_bound:
+                break
+            self._illuminate(cell)
+        elapsed = time.perf_counter() - start
+        self.counters.time_init_s = elapsed
+        self._initialized = True
+        return InitReport(
+            seconds=elapsed,
+            cells_accessed=self.counters.cells_accessed,
+            places_loaded=self.counters.places_loaded,
+            sk=self.sk(),
+            maintained_places=len(self.maintained),
+        )
+
+    # -- update (§III-C) --------------------------------------------------
+
+    def process(self, update: LocationUpdate) -> UpdateReport:
+        self._require_initialized()
+        start = time.perf_counter()
+        old = self.units.apply(update)
+        new = update.new_location
+        radius = self.config.protection_range
+
+        # Step 1: maintained places cross the old/new protection disks.
+        scanned = self.maintained.apply_unit_move(old, new, radius)
+        self.counters.maintained_scans += scanned
+        # two point-in-disk tests (old and new position) per scanned place.
+        self.counters.distance_rows += 2 * scanned
+
+        # Step 2: Table I on every affected dark cell.
+        self._adjust_dark_bounds(old, new, radius)
+        mid = time.perf_counter()
+
+        # Step 3: illuminate dark cells whose bound fell below SK.
+        accessed = self._illuminate_below_sk()
+
+        # Step 4: darken illuminated cells that hold no top-k place.
+        self._darken_unneeded()
+        end = time.perf_counter()
+
+        self.counters.updates_processed += 1
+        self.counters.time_maintain_s += mid - start
+        self.counters.time_access_s += end - mid
+        self.counters.maintained_peak = max(
+            self.counters.maintained_peak, len(self.maintained)
+        )
+        return UpdateReport(
+            unit_id=update.unit_id,
+            sk=self.sk(),
+            cells_accessed=accessed,
+            maintain_seconds=mid - start,
+            access_seconds=end - mid,
+        )
+
+    def _adjust_dark_bounds(self, old: Point, new: Point, radius: float) -> None:
+        old_disk = Circle(old, radius)
+        new_disk = Circle(new, radius)
+        candidates = set(self.grid.cells_touching_circle(old_disk))
+        candidates.update(self.grid.cells_touching_circle(new_disk))
+        for cell in candidates:
+            state = self.cell_states.get(cell)
+            if state is None or state.illuminated:
+                continue
+            rect = self.grid.cell_rect(cell)
+            delta = table1_delta(
+                classify_circle_rect(old_disk, rect),
+                classify_circle_rect(new_disk, rect),
+            )
+            if delta > 0:
+                state.increase(delta)
+                self.counters.lb_increments += 1
+            elif delta < 0:
+                state.decrease(-delta)
+                self.counters.lb_decrements += 1
+
+    def _illuminate_below_sk(self) -> int:
+        """Step 3: repeatedly light the darkest offending cell."""
+        accessed = 0
+        while True:
+            sk = self.sk()
+            best: CellId | None = None
+            best_bound = math.inf
+            for cell, state in self.cell_states.items():
+                if not state.illuminated and state.lower_bound < sk:
+                    if state.lower_bound < best_bound:
+                        best_bound = state.lower_bound
+                        best = cell
+            if best is None:
+                return accessed
+            self._illuminate(best)
+            accessed += 1
+
+    def _darken_unneeded(self) -> None:
+        """Step 4: discard illuminated cells without a top-k place."""
+        top_cells = {
+            self.grid.linear(self.grid.cell_of(record.place.location))
+            for record in self.top_k()
+        }
+        for cell, state in self.cell_states.items():
+            if not state.illuminated:
+                continue
+            linear = self.grid.linear(cell)
+            if linear in top_cells:
+                continue
+            rows = self.maintained.rows_of_cell(linear)
+            min_removed = self.maintained.remove_rows(rows.tolist())
+            state.illuminated = False
+            # the discard happens with exact knowledge: the tightest
+            # sound bound is the cell's current minimum safety.
+            state.lower_bound = min_removed
+            self.counters.cells_darkened += 1
+
+    def _illuminate(self, cell: CellId) -> None:
+        """Load a cell's places and track them exactly."""
+        state = self.cell_states[cell]
+        places, arrays = self.store.read_cell_with_arrays(cell)
+        ap, compared = self.units.ap_counts_near(
+            arrays.xs, arrays.ys, self.grid.cell_rect(cell)
+        )
+        safeties = ap - arrays.required
+        self.maintained.insert_batch(places, safeties, self.grid.linear(cell))
+        state.illuminated = True
+        state.access_count += 1
+        self.counters.cells_accessed += 1
+        self.counters.places_loaded += len(places)
+        self.counters.distance_rows += len(places) * compared
+
+    # -- result -----------------------------------------------------------
+
+    def top_k(self) -> list[SafetyRecord]:
+        return self.maintained.top_k(self.config.k)
+
+    def sk(self) -> float:
+        return self.maintained.sk(self.config.k)
+
+    # -- diagnostics --------------------------------------------------------
+
+    def illuminated_cells(self) -> set[CellId]:
+        """Currently illuminated cells (tests and examples)."""
+        return {
+            cell
+            for cell, state in self.cell_states.items()
+            if state.illuminated
+        }

@@ -1,0 +1,91 @@
+"""Result-change events.
+
+A CTUP deployment wants to *act* when the answer changes — dispatch a
+patrol when a place becomes top-k unsafe, stand down when it leaves.
+:class:`ChangeTracker` wraps any monitor, diffs the result after every
+update and invokes subscribers with a :class:`TopKChange`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.monitor import CTUPMonitor
+from repro.model import LocationUpdate, SafetyRecord
+
+
+@dataclass(frozen=True, slots=True)
+class TopKChange:
+    """The delta between two consecutive top-k results."""
+
+    timestamp: float
+    #: records for places that are newly top-k unsafe.
+    entered: tuple[SafetyRecord, ...]
+    #: records (with their last known safety) that left the top-k.
+    left: tuple[SafetyRecord, ...]
+    sk_before: float
+    sk_after: float
+
+    @property
+    def sk_changed(self) -> bool:
+        return self.sk_before != self.sk_after
+
+
+ChangeCallback = Callable[[TopKChange], None]
+
+
+@dataclass
+class ChangeTracker:
+    """Drives a monitor and notifies subscribers on every result change."""
+
+    monitor: CTUPMonitor
+    _subscribers: list[ChangeCallback] = field(default_factory=list)
+    _last: dict[int, SafetyRecord] = field(default_factory=dict)
+    _last_sk: float = float("inf")
+    changes_seen: int = 0
+
+    def subscribe(self, callback: ChangeCallback) -> None:
+        """Register a callback invoked once per changed result."""
+        self._subscribers.append(callback)
+
+    def initialize(self) -> None:
+        """Initialize the monitor and remember the first result."""
+        self.monitor.initialize()
+        self._last = {r.place_id: r for r in self.monitor.top_k()}
+        self._last_sk = self.monitor.sk()
+
+    def process(self, update: LocationUpdate) -> TopKChange | None:
+        """Process one update; returns the change if the result moved."""
+        self.monitor.process(update)
+        return self.observe(update.timestamp)
+
+    def observe(self, timestamp: float = 0.0) -> TopKChange | None:
+        """Diff the monitor's *current* result against the last one seen.
+
+        For callers that drive the monitor themselves (the simulation
+        shell, batch processors) and only want the change detection.
+        """
+        current = {r.place_id: r for r in self.monitor.top_k()}
+        sk = self.monitor.sk()
+        entered = tuple(
+            current[pid] for pid in sorted(current.keys() - self._last.keys())
+        )
+        left = tuple(
+            self._last[pid] for pid in sorted(self._last.keys() - current.keys())
+        )
+        if not entered and not left and sk == self._last_sk:
+            return None
+        change = TopKChange(
+            timestamp=timestamp,
+            entered=entered,
+            left=left,
+            sk_before=self._last_sk,
+            sk_after=sk,
+        )
+        self._last = current
+        self._last_sk = sk
+        self.changes_seen += 1
+        for callback in self._subscribers:
+            callback(change)
+        return change

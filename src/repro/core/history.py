@@ -1,0 +1,112 @@
+"""Result history: what was unsafe, when.
+
+Post-incident analysis asks questions the live monitor cannot answer:
+"was the bank top-k unsafe when the alarm went off at t=412?", "how long
+was the embassy exposed?". :class:`TopKHistory` subscribes to a
+:class:`~repro.core.events.ChangeTracker` and stores the *changes* (not
+per-update snapshots — the result moves rarely), reconstructing the full
+result set at any past timestamp on demand.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.events import ChangeTracker, TopKChange
+from repro.model import SafetyRecord
+
+
+@dataclass(frozen=True, slots=True)
+class Exposure:
+    """One interval a place spent inside the top-k."""
+
+    place_id: int
+    entered_at: float
+    left_at: float | None  # None = still inside at the end of recording
+
+    def duration(self, now: float) -> float:
+        end = self.left_at if self.left_at is not None else now
+        return end - self.entered_at
+
+
+class TopKHistory:
+    """Change-log-backed reconstruction of past top-k results."""
+
+    def __init__(self, tracker: ChangeTracker) -> None:
+        self._tracker = tracker
+        tracker.subscribe(self._on_change)
+        self._initial: dict[int, SafetyRecord] | None = None
+        self._initial_time: float | None = None
+        self._times: list[float] = []
+        self._changes: list[TopKChange] = []
+
+    def start(self, timestamp: float = 0.0) -> None:
+        """Capture the baseline result (call right after initialize())."""
+        self._initial = {
+            r.place_id: r for r in self._tracker.monitor.top_k()
+        }
+        self._initial_time = timestamp
+
+    def _on_change(self, change: TopKChange) -> None:
+        if self._initial is None:
+            raise RuntimeError("start() must be called before recording")
+        self._times.append(change.timestamp)
+        self._changes.append(change)
+
+    @property
+    def change_count(self) -> int:
+        return len(self._changes)
+
+    def result_at(self, timestamp: float) -> dict[int, SafetyRecord]:
+        """The top-k membership as of ``timestamp``.
+
+        Safeties in the returned records are those last reported *when
+        each place entered or last changed through a recorded change* —
+        membership is exact, the safety values are the change-time ones.
+        """
+        if self._initial is None or self._initial_time is None:
+            raise RuntimeError("start() was never called")
+        if timestamp < self._initial_time:
+            raise ValueError(
+                f"history begins at t={self._initial_time}, asked for "
+                f"t={timestamp}"
+            )
+        state = dict(self._initial)
+        upto = bisect.bisect_right(self._times, timestamp)
+        for change in self._changes[:upto]:
+            for record in change.left:
+                state.pop(record.place_id, None)
+            for record in change.entered:
+                state[record.place_id] = record
+        return state
+
+    def was_topk(self, place_id: int, timestamp: float) -> bool:
+        """Whether a place was top-k unsafe at a past instant."""
+        return place_id in self.result_at(timestamp)
+
+    def exposures(self, place_id: int) -> list[Exposure]:
+        """Every interval the place spent inside the top-k."""
+        if self._initial is None or self._initial_time is None:
+            raise RuntimeError("start() was never called")
+        intervals: list[Exposure] = []
+        inside_since: float | None = (
+            self._initial_time if place_id in self._initial else None
+        )
+        for change in self._changes:
+            if inside_since is None:
+                if any(r.place_id == place_id for r in change.entered):
+                    inside_since = change.timestamp
+            else:
+                if any(r.place_id == place_id for r in change.left):
+                    intervals.append(
+                        Exposure(place_id, inside_since, change.timestamp)
+                    )
+                    inside_since = None
+        if inside_since is not None:
+            intervals.append(Exposure(place_id, inside_since, None))
+        return intervals
+
+    def total_exposure(self, place_id: int, now: float) -> float:
+        """Cumulative time the place has spent top-k unsafe."""
+        return sum(e.duration(now) for e in self.exposures(place_id))

@@ -1,0 +1,87 @@
+"""Cost accounting for the monitors.
+
+The paper reports update cost in milliseconds; a Python reproduction on
+different hardware cannot match absolute numbers, so every monitor also
+counts machine-independent work: cells accessed, places loaded, bound
+adjustments, distance-kernel rows. Fig. 9's split of the update cost
+into "modify maintained information" versus "access cells" maps onto
+``time_maintain_s`` / ``time_access_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass(slots=True)
+class MonitorCounters:
+    """Cumulative work performed by one monitor instance."""
+
+    updates_processed: int = 0
+    #: cells illuminated (BasicCTUP) or accessed (OptCTUP), incl. init.
+    cells_accessed: int = 0
+    #: places loaded from the lower storage level.
+    places_loaded: int = 0
+    #: lower-bound decrements / increments applied to cells.
+    lb_decrements: int = 0
+    lb_increments: int = 0
+    #: bound adjustments suppressed because (unit, cell) was in DecHash.
+    doo_suppressed: int = 0
+    dechash_inserts: int = 0
+    dechash_removes: int = 0
+    #: cells darkened by BasicCTUP's step 4.
+    cells_darkened: int = 0
+    #: rows evaluated by the distance kernel (|places| x |units| work).
+    distance_rows: int = 0
+    #: maintained places touched by safety-adjustment scans.
+    maintained_scans: int = 0
+    #: wall-clock split of `process()`: steps 1-2 vs step 3(+4).
+    time_maintain_s: float = 0.0
+    time_access_s: float = 0.0
+    time_init_s: float = 0.0
+    #: high-water mark of the maintained-place table.
+    maintained_peak: int = 0
+
+    def total_update_time_s(self) -> float:
+        """Wall-clock spent inside ``process`` (init excluded)."""
+        return self.time_maintain_s + self.time_access_s
+
+    def snapshot(self) -> "MonitorCounters":
+        """An independent copy (bench harness diffs snapshots)."""
+        return MonitorCounters(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def __sub__(self, other: "MonitorCounters") -> "MonitorCounters":
+        return MonitorCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(slots=True)
+class UpdateReport:
+    """What one ``process()`` call did (returned to the caller)."""
+
+    unit_id: int
+    sk: float
+    cells_accessed: int = 0
+    maintain_seconds: float = 0.0
+    access_seconds: float = 0.0
+
+
+@dataclass(slots=True)
+class InitReport:
+    """What ``initialize()`` did."""
+
+    seconds: float
+    cells_accessed: int
+    places_loaded: int
+    sk: float
+    maintained_places: int = 0
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,107 @@
+"""The common interface of all CTUP monitors.
+
+A monitor owns its full server-side state: the grid partition, the
+simulated lower storage level holding all places, the unit index with
+the most recently reported unit positions, and whatever bound/maintained
+structures the concrete scheme needs. Driving a monitor is always:
+
+>>> monitor.initialize()          # §III-B / §IV-D, executed once
+>>> for update in stream:
+...     monitor.process(update)   # §III-C / §IV-E
+...     monitor.top_k()           # the continuously monitored answer
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+from repro.core.config import CTUPConfig
+from repro.core.metrics import InitReport, MonitorCounters, UpdateReport
+from repro.core.units import UnitIndex
+from repro.grid.partition import GridPartition
+from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+from repro.storage.placestore import PlaceStore
+
+
+class CTUPMonitor(abc.ABC):
+    """Base class: state assembly plus the monitoring contract."""
+
+    #: short scheme name used in benchmark tables.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        config: CTUPConfig,
+        places: Sequence[Place],
+        units: Iterable[Unit],
+    ) -> None:
+        self.config = config
+        self.grid = GridPartition(
+            config.space, config.granularity, config.granularity
+        )
+        self.store = PlaceStore(
+            self.grid,
+            places,
+            page_capacity=config.page_capacity,
+            buffer_pages=config.buffer_pages,
+        )
+        self.units = UnitIndex(units)
+        if abs(self.units.protection_range - config.protection_range) > 1e-12:
+            raise ValueError(
+                "config protection range "
+                f"{config.protection_range} does not match the units' "
+                f"{self.units.protection_range}"
+            )
+        self.counters = MonitorCounters()
+        self._initialized = False
+
+    # -- contract -------------------------------------------------------
+
+    @abc.abstractmethod
+    def initialize(self) -> InitReport:
+        """Build the initial monitoring state (executed only once)."""
+
+    @abc.abstractmethod
+    def process(self, update: LocationUpdate) -> UpdateReport:
+        """Absorb one location update, keeping the top-k result current."""
+
+    @abc.abstractmethod
+    def top_k(self) -> list[SafetyRecord]:
+        """The current k least safe places, least safe first.
+
+        Ties are broken by ascending place id among the candidates a
+        scheme tracks. Every scheme reports the same SK and the same
+        places strictly below it; which of several places *tied at SK*
+        fills the last slot may differ between schemes (Definition 4 is
+        ambiguous there, and resolving it deterministically would force
+        extra cell accesses for no information gain).
+        """
+
+    @abc.abstractmethod
+    def sk(self) -> float:
+        """The safety of the k-th unsafe place (``+inf`` if |P| < k)."""
+
+    # -- shared helpers --------------------------------------------------
+
+    def _require_initialized(self) -> None:
+        if not self._initialized:
+            raise RuntimeError(
+                f"{self.name}: initialize() must be called before processing"
+            )
+
+    def _require_not_initialized(self) -> None:
+        if self._initialized:
+            raise RuntimeError(f"{self.name}: initialize() may run only once")
+
+    def topk_ids(self) -> list[int]:
+        """Place ids of the current result (convenience for tests)."""
+        return [record.place_id for record in self.top_k()]
+
+    def run_stream(self, updates: Iterable[LocationUpdate]) -> int:
+        """Process a whole stream; returns the number of updates consumed."""
+        count = 0
+        for update in updates:
+            self.process(update)
+            count += 1
+        return count

@@ -1,0 +1,148 @@
+"""Multiple concurrent CTUP queries over one monitor.
+
+A deployment rarely has a single consumer: the dispatch desk wants the
+top-5, the commissioner's dashboard the top-25, an analyst the top-100.
+Running one monitor per query multiplies all maintenance work.
+
+Following the K-slack idea of Yi et al. [25] (maintain a top-K view for
+``K >= k`` and serve smaller queries from it), :class:`MultiQueryCTUP`
+runs a single OptCTUP instance at ``K = max(k_i)`` and answers each
+registered query from a prefix of the shared result. This is exact:
+``SK(k) <= SK(K)`` for ``k <= K``, so every place a smaller query needs
+is maintained by the larger one, and the shared result is sorted with
+deterministic tie-breaking.
+
+Registering a query with ``k > K`` after initialization rebuilds the
+inner monitor at the new maximum — the analogue of [25]'s "refill", paid
+only when the registered maximum actually grows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.config import CTUPConfig
+from repro.core.metrics import UpdateReport
+from repro.core.opt import OptCTUP
+from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+
+
+class MultiQueryCTUP:
+    """One shared OptCTUP serving many registered top-k queries."""
+
+    def __init__(
+        self,
+        config: CTUPConfig,
+        places: Sequence[Place],
+        units: Iterable[Unit],
+    ) -> None:
+        self._config = config
+        self._places = list(places)
+        self._initial_units = [
+            Unit(u.unit_id, u.location, u.protection_range) for u in units
+        ]
+        self._queries: dict[str, int] = {}
+        self._monitor: OptCTUP | None = None
+        self._rebuilds = 0
+
+    # -- query registry ---------------------------------------------------
+
+    def register(self, query_id: str, k: int) -> None:
+        """Add (or resize) a standing top-k query.
+
+        Growing the registered maximum after initialization rebuilds the
+        shared monitor from the current unit positions.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self._queries[query_id] = k
+        if self._monitor is not None and k > self._monitor.config.k:
+            self._rebuild()
+
+    def unregister(self, query_id: str) -> None:
+        """Drop a standing query (the shared K is kept — shrinking it
+        would discard maintained state that a future register() could
+        need again; it is slack, not waste)."""
+        try:
+            del self._queries[query_id]
+        except KeyError:
+            raise KeyError(f"no such query: {query_id}") from None
+
+    @property
+    def queries(self) -> dict[str, int]:
+        """Registered query ids and their k values."""
+        return dict(self._queries)
+
+    @property
+    def shared_k(self) -> int:
+        """The K the inner monitor currently maintains."""
+        if self._monitor is None:
+            raise RuntimeError("initialize() has not run yet")
+        return self._monitor.config.k
+
+    @property
+    def rebuilds(self) -> int:
+        """How many times a growing k forced a rebuild."""
+        return self._rebuilds
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Build the shared monitor at K = max registered k."""
+        if self._monitor is not None:
+            raise RuntimeError("initialize() may run only once")
+        if not self._queries:
+            raise RuntimeError("register at least one query first")
+        self._monitor = self._build(max(self._queries.values()))
+
+    def _build(self, k: int) -> OptCTUP:
+        monitor = OptCTUP(
+            self._config.replace(k=k), self._places, self._current_units()
+        )
+        monitor.initialize()
+        return monitor
+
+    def _current_units(self) -> list[Unit]:
+        if self._monitor is None:
+            return self._initial_units
+        return [
+            Unit(u.unit_id, u.location, u.protection_range)
+            for u in self._monitor.units
+        ]
+
+    def _rebuild(self) -> None:
+        self._monitor = self._build(max(self._queries.values()))
+        self._rebuilds += 1
+
+    def process(self, update: LocationUpdate) -> UpdateReport:
+        """Feed one location update to the shared monitor."""
+        if self._monitor is None:
+            raise RuntimeError("initialize() must be called before processing")
+        return self._monitor.process(update)
+
+    # -- answers -------------------------------------------------------------
+
+    def top_k(self, query_id: str) -> list[SafetyRecord]:
+        """The current answer of one registered query."""
+        if self._monitor is None:
+            raise RuntimeError("initialize() must be called first")
+        try:
+            k = self._queries[query_id]
+        except KeyError:
+            raise KeyError(f"no such query: {query_id}") from None
+        return self._monitor.top_k()[:k]
+
+    def sk(self, query_id: str) -> float:
+        """The k-th safety of one registered query."""
+        records = self.top_k(query_id)
+        k = self._queries[query_id]
+        if len(records) < k:
+            return float("inf")
+        return records[-1].safety
+
+    @property
+    def monitor(self) -> OptCTUP:
+        """The shared inner monitor (for counters/diagnostics)."""
+        if self._monitor is None:
+            raise RuntimeError("initialize() has not run yet")
+        return self._monitor

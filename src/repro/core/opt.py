@@ -1,0 +1,299 @@
+"""OptCTUP (§IV): per-place maintenance, DOO and the Δ slack.
+
+OptCTUP fixes the three drawbacks of BasicCTUP:
+
+* **Drawback 1** (bounds decrease unnecessarily) — the Decrease Once
+  Optimization: a (unit, cell) pair in :class:`DecHash` blocks repeated
+  decreases for the same unit (Table II).
+* **Drawback 2** (too many places in memory) — cells are never
+  illuminated wholesale; only places whose safety was below ``SK + Δ``
+  at the last access of their cell are maintained, and each cell's
+  lower bound covers its *non-maintained* places only.
+* **Drawback 3** (flashing) — after accessing a cell its bound is at
+  least ``SK + Δ``, so it takes Δ further decreases before the cell can
+  demand attention again.
+
+Setting ``config.use_doo = False`` keeps everything except DOO (bounds
+then follow Table I), which is exactly the ablation of Fig. 8.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import CTUPConfig
+from repro.core.dechash import DecHash
+from repro.core.metrics import InitReport, UpdateReport
+from repro.core.monitor import CTUPMonitor
+from repro.core.tables import (
+    HASH_INSERT,
+    HASH_REMOVE,
+    table1_delta,
+    table2_action,
+)
+from repro.core.topk import MaintainedPlaces, kth_smallest
+from repro.geometry import Circle, Point
+from repro.geometry.relations import classify_circle_rect
+from repro.grid.cellstate import CellState
+from repro.grid.partition import CellId
+from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+
+
+class OptCTUP(CTUPMonitor):
+    """The optimized scheme of Section IV."""
+
+    name = "opt"
+
+    def __init__(
+        self,
+        config: CTUPConfig,
+        places: Sequence[Place],
+        units: Iterable[Unit],
+    ) -> None:
+        super().__init__(config, places, units)
+        self.cell_states: dict[CellId, CellState] = {}
+        self.maintained = MaintainedPlaces()
+        self.dechash = DecHash()
+        #: the live Δ. Starts at the configured value; may be retuned at
+        #: runtime (see :mod:`repro.core.adaptive`) — any non-negative
+        #: value is sound, Δ only shapes the maintain/access trade-off.
+        self._delta = float(config.delta)
+
+    @property
+    def delta(self) -> float:
+        """The live Δ slack used by cell-access trimming."""
+        return self._delta
+
+    @delta.setter
+    def delta(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("delta cannot be negative")
+        self._delta = float(value)
+
+    # -- initialization (§IV-D) -------------------------------------------
+
+    def initialize(self) -> InitReport:
+        self._require_not_initialized()
+        start = time.perf_counter()
+        # Step 1: exact per-cell minima become the initial bounds.
+        for cell in self.store.occupied_cells():
+            arrays = self.store.cell_arrays(cell)
+            ap, compared = self.units.ap_counts_near(
+                arrays.xs, arrays.ys, self.grid.cell_rect(cell)
+            )
+            safeties = ap - arrays.required
+            self.counters.distance_rows += len(arrays) * compared
+            self.counters.places_loaded += len(arrays)
+            self.cell_states[cell] = CellState(
+                lower_bound=float(safeties.min()),
+                place_count=len(arrays),
+            )
+        # Step 2: access cells in increasing bound order, keeping their
+        # places *temporarily* (scratch arrays, not the maintained
+        # table), until SK covers the rest.
+        accessed: list[tuple[CellId, list[Place], np.ndarray]] = []
+        scratch: list[np.ndarray] = []
+        sk = self._running_sk(scratch)
+        by_bound = sorted(
+            self.cell_states, key=lambda c: self.cell_states[c].lower_bound
+        )
+        for cell in by_bound:
+            if sk <= self.cell_states[cell].lower_bound:
+                break
+            places, arrays = self.store.read_cell_with_arrays(cell)
+            ap, compared = self.units.ap_counts_near(
+                arrays.xs, arrays.ys, self.grid.cell_rect(cell)
+            )
+            safeties = (ap - arrays.required).astype(np.float64)
+            accessed.append((cell, places, safeties))
+            scratch.append(safeties)
+            sk = self._running_sk(scratch)
+            self.counters.cells_accessed += 1
+            self.counters.places_loaded += len(places)
+            self.counters.distance_rows += len(places) * compared
+        # Step 3: keep only the places below SK + Δ (ties at SK always
+        # kept, see _trim_cell); the dropped minima become the bounds.
+        threshold = sk + self.delta
+        for cell, places, safeties in accessed:
+            state = self.cell_states[cell]
+            state.access_count += 1
+            linear = self.grid.linear(cell)
+            keep = (safeties < threshold) | (safeties <= sk)
+            dropped = safeties[~keep]
+            state.lower_bound = (
+                float(dropped.min()) if len(dropped) else math.inf
+            )
+            for place, safety, kept in zip(places, safeties, keep):
+                if kept:
+                    self.maintained.insert(place, float(safety), linear)
+        # Step 4 of the paper: DecHash starts empty.
+        self.dechash.clear()
+        elapsed = time.perf_counter() - start
+        self.counters.time_init_s = elapsed
+        self._initialized = True
+        return InitReport(
+            seconds=elapsed,
+            cells_accessed=self.counters.cells_accessed,
+            places_loaded=self.counters.places_loaded,
+            sk=self.sk(),
+            maintained_places=len(self.maintained),
+        )
+
+    def _running_sk(self, scratch: list[np.ndarray]) -> float:
+        """The SK estimate during initialisation's access loop.
+
+        Overridable: the threshold variant (§VII) monitors against a
+        fixed safety threshold instead of the k-th smallest value.
+        """
+        if not scratch:
+            return math.inf
+        return kth_smallest(np.concatenate(scratch), self.config.k)
+
+    # -- update (§IV-E) -----------------------------------------------------
+
+    def process(self, update: LocationUpdate) -> UpdateReport:
+        self._require_initialized()
+        start = time.perf_counter()
+        old = self.units.apply(update)
+        new = update.new_location
+        radius = self.config.protection_range
+
+        # Step 1: adjust the safeties of the maintained places.
+        scanned = self.maintained.apply_unit_move(old, new, radius)
+        self.counters.maintained_scans += scanned
+        # two point-in-disk tests (old and new position) per scanned place.
+        self.counters.distance_rows += 2 * scanned
+
+        # Step 2: Table II (Table I when DOO is disabled) on every cell
+        # intersecting the old or new protection region.
+        self._adjust_bounds(update.unit_id, old, new, radius)
+        mid = time.perf_counter()
+
+        # Step 3: access every cell whose bound fell below SK.
+        accessed = self._access_below_sk()
+        end = time.perf_counter()
+
+        self.counters.updates_processed += 1
+        self.counters.time_maintain_s += mid - start
+        self.counters.time_access_s += end - mid
+        self.counters.maintained_peak = max(
+            self.counters.maintained_peak, len(self.maintained)
+        )
+        return UpdateReport(
+            unit_id=update.unit_id,
+            sk=self.sk(),
+            cells_accessed=accessed,
+            maintain_seconds=mid - start,
+            access_seconds=end - mid,
+        )
+
+    def _adjust_bounds(
+        self, unit_id: int, old: Point, new: Point, radius: float
+    ) -> None:
+        old_disk = Circle(old, radius)
+        new_disk = Circle(new, radius)
+        candidates = set(self.grid.cells_touching_circle(old_disk))
+        candidates.update(self.grid.cells_touching_circle(new_disk))
+        for cell in candidates:
+            state = self.cell_states.get(cell)
+            if state is None:
+                continue
+            rect = self.grid.cell_rect(cell)
+            rel_old = classify_circle_rect(old_disk, rect)
+            rel_new = classify_circle_rect(new_disk, rect)
+            if self.config.use_doo:
+                in_hash = self.dechash.contains(unit_id, cell)
+                delta, hash_action = table2_action(rel_old, rel_new, in_hash)
+                if hash_action == HASH_INSERT:
+                    inserted = self.dechash.insert(unit_id, cell)
+                    if inserted:
+                        self.counters.dechash_inserts += 1
+                    elif delta < 0:
+                        # the pair was unexpectedly present: decreasing
+                        # again would double-count this unit, skip it.
+                        delta = 0
+                elif hash_action == HASH_REMOVE:
+                    if self.dechash.remove(unit_id, cell):
+                        self.counters.dechash_removes += 1
+                if in_hash and delta == 0 and table1_delta(rel_old, rel_new) < 0:
+                    self.counters.doo_suppressed += 1
+            else:
+                delta = table1_delta(rel_old, rel_new)
+            if delta > 0:
+                state.increase(delta)
+                self.counters.lb_increments += 1
+            elif delta < 0:
+                state.decrease(-delta)
+                self.counters.lb_decrements += 1
+
+    def _access_below_sk(self) -> int:
+        """Step 3: access offending cells until every bound clears SK."""
+        accessed = 0
+        while True:
+            sk = self.sk()
+            best: CellId | None = None
+            best_bound = math.inf
+            for cell, state in self.cell_states.items():
+                if state.lower_bound < sk and state.lower_bound < best_bound:
+                    best_bound = state.lower_bound
+                    best = cell
+            if best is None:
+                return accessed
+            self._access_cell(best)
+            accessed += 1
+
+    def _access_cell(self, cell: CellId) -> None:
+        """Reload a cell: exact safeties, adjust SK, keep the Δ band.
+
+        The cell's maintained places are replaced wholesale by the fresh
+        computation, its DecHash pairs are cleared (the new bound is
+        exact, so every unit is re-armed for one future decrease), and
+        the bound becomes the minimum safety of the places *not* kept.
+        """
+        state = self.cell_states[cell]
+        linear = self.grid.linear(cell)
+        self.maintained.remove_rows(self.maintained.rows_of_cell(linear).tolist())
+        self._load_cell_into_maintained(cell)
+        self._trim_cell(cell)
+        self.dechash.clear_cell(cell)
+        state.access_count += 1
+
+    def _load_cell_into_maintained(self, cell: CellId) -> None:
+        places, arrays = self.store.read_cell_with_arrays(cell)
+        ap, compared = self.units.ap_counts_near(
+            arrays.xs, arrays.ys, self.grid.cell_rect(cell)
+        )
+        safeties = ap - arrays.required
+        self.maintained.insert_batch(places, safeties, self.grid.linear(cell))
+        self.counters.cells_accessed += 1
+        self.counters.places_loaded += len(places)
+        self.counters.distance_rows += len(places) * compared
+
+    def _trim_cell(self, cell: CellId) -> None:
+        """Keep only the places below ``SK + Δ``; bound the rest.
+
+        Places with ``safety <= SK`` are always kept even when Δ is 0:
+        dropping a place tied at SK would evict part of the top-k result
+        and make the access loop oscillate. For any Δ >= 1 (safeties are
+        integers in the core model) this coincides with the paper's rule.
+        """
+        state = self.cell_states[cell]
+        linear = self.grid.linear(cell)
+        sk = self.sk()
+        threshold = sk + self.delta
+        rows = self.maintained.rows_of_cell(linear)
+        safeties = self.maintained.safety_at_rows(rows)
+        drop = rows[(safeties >= threshold) & (safeties > sk)]
+        state.lower_bound = self.maintained.remove_rows(drop.tolist())
+
+    # -- result -------------------------------------------------------------
+
+    def top_k(self) -> list[SafetyRecord]:
+        return self.maintained.top_k(self.config.k)
+
+    def sk(self) -> float:
+        return self.maintained.sk(self.config.k)

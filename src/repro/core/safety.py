@@ -1,0 +1,65 @@
+"""Safety computation kernels (Definitions 2 and 3).
+
+``safety(p) = AP(p) - RP(p)``: the number of units whose protection disk
+contains ``p``, minus the place's required protection. These helpers are
+the single source of truth for that arithmetic — monitors, oracle and
+workload analysis all call into here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.units import UnitIndex
+from repro.geometry import Point
+from repro.model import Place, Unit
+
+
+def protects(unit_location: Point, protection_range: float, place_location: Point) -> bool:
+    """Definition 1 as a scalar predicate (closed disk)."""
+    return (
+        unit_location.squared_distance_to(place_location)
+        <= protection_range * protection_range
+    )
+
+
+def safety_arrays(
+    units: UnitIndex,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    required: np.ndarray,
+) -> np.ndarray:
+    """Vectorised safeties for a batch of places.
+
+    Returns ``AP - RP`` as float64 (the decaying-protection extension
+    yields fractional safeties; the core path always holds integers).
+    """
+    ap = units.ap_counts(xs, ys)
+    return ap.astype(np.float64) - np.asarray(required, dtype=np.float64)
+
+
+def safety_of_place(units: UnitIndex, place: Place) -> float:
+    """Exact safety of one place under the current unit positions."""
+    return float(units.ap_of_point(place.location) - place.required_protection)
+
+
+def brute_force_safeties(
+    places: Sequence[Place], units: Iterable[Unit]
+) -> dict[int, float]:
+    """Reference implementation: O(|P| * |U|) scalar loops, no numpy.
+
+    Deliberately independent from :class:`UnitIndex` so the test suite
+    can cross-check the vectorised kernels against it.
+    """
+    units = list(units)
+    result: dict[int, float] = {}
+    for place in places:
+        ap = sum(
+            1
+            for u in units
+            if protects(u.location, u.protection_range, place.location)
+        )
+        result[place.place_id] = float(ap - place.required_protection)
+    return result

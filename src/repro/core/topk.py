@@ -1,0 +1,297 @@
+"""The maintained-place table.
+
+Both monitors keep "a very small fraction of places" in memory together
+with their safeties (§II-A): BasicCTUP keeps every place of every
+illuminated cell, OptCTUP keeps exactly the places that were within
+``SK + Δ`` when their cell was last accessed. This table backs both.
+
+It is columnar (numpy) so the per-update hot path — adjusting the
+safety of every maintained place against a unit's old and new protection
+disk — is one vectorised pass, and ``SK`` (the k-th smallest safety) is
+one ``np.partition``. Rows are removed with swap-to-last so the arrays
+stay dense.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.model import Place, SafetyRecord
+
+_INITIAL_CAPACITY = 64
+
+
+def kth_smallest(safety: np.ndarray, k: int) -> float:
+    """The k-th smallest value of ``safety``; ``+inf`` with < k values."""
+    if len(safety) < k:
+        return math.inf
+    return float(np.partition(safety, k - 1)[k - 1])
+
+
+def topk_rows(ids: np.ndarray, safety: np.ndarray, k: int) -> np.ndarray:
+    """Row indices of the k smallest safeties, ties broken by id.
+
+    Shared by the maintained table and the naïve monitor so every scheme
+    reports an identical, deterministic result set.
+    """
+    n = len(safety)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    take = min(k, n)
+    if n > take:
+        kth = np.partition(safety, take - 1)[take - 1]
+        candidates = np.nonzero(safety <= kth)[0]
+        order = np.lexsort((ids[candidates], safety[candidates]))
+        return candidates[order][:take]
+    return np.lexsort((ids, safety))[:take]
+
+
+class MaintainedPlaces:
+    """A dynamic table of (place, safety, owning cell) rows."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        cap = _INITIAL_CAPACITY
+        self._ids = np.empty(cap, dtype=np.int64)
+        self._xs = np.empty(cap, dtype=np.float64)
+        self._ys = np.empty(cap, dtype=np.float64)
+        self._safety = np.empty(cap, dtype=np.float64)
+        self._cell = np.empty(cap, dtype=np.int64)
+        self._row_of: dict[int, int] = {}
+        self._place_at: list[Place | None] = [None] * cap
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, place_id: int) -> bool:
+        return place_id in self._row_of
+
+    # -- growth ---------------------------------------------------------
+
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = len(self._ids)
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= 2
+        self._ids = np.resize(self._ids, cap)
+        self._xs = np.resize(self._xs, cap)
+        self._ys = np.resize(self._ys, cap)
+        self._safety = np.resize(self._safety, cap)
+        self._cell = np.resize(self._cell, cap)
+        self._place_at.extend([None] * (cap - len(self._place_at)))
+
+    # -- insertion ------------------------------------------------------
+
+    def insert(self, place: Place, safety: float, cell: int) -> None:
+        """Add one place; rejects duplicates (a maintenance bug otherwise)."""
+        if place.place_id in self._row_of:
+            raise ValueError(f"place {place.place_id} already maintained")
+        self._ensure_capacity(self._n + 1)
+        row = self._n
+        self._ids[row] = place.place_id
+        self._xs[row] = place.location.x
+        self._ys[row] = place.location.y
+        self._safety[row] = safety
+        self._cell[row] = cell
+        self._place_at[row] = place
+        self._row_of[place.place_id] = row
+        self._n += 1
+
+    def insert_batch(
+        self, places: Sequence[Place], safeties: np.ndarray, cell: int
+    ) -> None:
+        """Add all ``places`` of one cell with their computed safeties."""
+        if len(places) != len(safeties):
+            raise ValueError("places and safeties length mismatch")
+        self._ensure_capacity(self._n + len(places))
+        for place, safety in zip(places, safeties):
+            self.insert(place, float(safety), cell)
+
+    # -- removal --------------------------------------------------------
+
+    def remove_row(self, row: int) -> tuple[Place, float]:
+        """Remove one row (swap-with-last); returns the evicted record."""
+        if not (0 <= row < self._n):
+            raise IndexError(f"row {row} out of range")
+        place = self._place_at[row]
+        assert place is not None
+        safety = float(self._safety[row])
+        last = self._n - 1
+        if row != last:
+            self._ids[row] = self._ids[last]
+            self._xs[row] = self._xs[last]
+            self._ys[row] = self._ys[last]
+            self._safety[row] = self._safety[last]
+            self._cell[row] = self._cell[last]
+            moved = self._place_at[last]
+            self._place_at[row] = moved
+            assert moved is not None
+            self._row_of[moved.place_id] = row
+        self._place_at[last] = None
+        del self._row_of[place.place_id]
+        self._n = last
+        return place, safety
+
+    def remove_id(self, place_id: int) -> tuple[Place, float]:
+        """Remove a place by id."""
+        return self.remove_row(self._row_of[place_id])
+
+    def remove_rows(self, rows: Iterable[int]) -> float:
+        """Remove several rows; returns the minimum removed safety.
+
+        Returns ``+inf`` when nothing is removed — exactly the value the
+        monitors assign as a cell bound when no place was dropped. Small
+        batches use swap-removal; large batches compact the whole table
+        in one vectorised pass.
+        """
+        ordered = sorted({int(r) for r in rows})
+        if not ordered:
+            return math.inf
+        index = np.array(ordered, dtype=np.int64)
+        if index[0] < 0 or index[-1] >= self._n:
+            raise IndexError("row out of range")
+        min_removed = float(self._safety[index].min())
+        # swap-removal costs O(removed); compaction costs O(table)
+        # (it rebuilds the id->row dict). Compact only when a large
+        # share of the table goes away.
+        if len(ordered) * 8 < self._n:
+            for row in reversed(ordered):
+                self.remove_row(row)
+        else:
+            keep = np.ones(self._n, dtype=bool)
+            keep[index] = False
+            self._compact(keep)
+        return min_removed
+
+    def _compact(self, keep: np.ndarray) -> None:
+        """Keep only the rows where ``keep`` is True (bulk removal)."""
+        n = self._n
+        kept = np.nonzero(keep)[0]
+        m = len(kept)
+        self._ids[:m] = self._ids[kept]
+        self._xs[:m] = self._xs[kept]
+        self._ys[:m] = self._ys[kept]
+        self._safety[:m] = self._safety[kept]
+        self._cell[:m] = self._cell[kept]
+        kept_places = [self._place_at[int(i)] for i in kept]
+        self._place_at[:m] = kept_places
+        for row in range(m, n):
+            self._place_at[row] = None
+        self._row_of = {
+            place.place_id: row
+            for row, place in enumerate(kept_places)
+            if place is not None
+        }
+        self._n = m
+
+    def remove_cell(self, cell: int) -> float:
+        """Drop every place owned by ``cell``; min removed safety."""
+        return self.remove_rows(self.rows_of_cell(cell).tolist())
+
+    # -- queries --------------------------------------------------------
+
+    def rows_of_cell(self, cell: int) -> np.ndarray:
+        """Row indices of the places owned by ``cell``."""
+        return np.nonzero(self._cell[: self._n] == cell)[0]
+
+    def safety_at_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Safeties of the given rows (read-only copy)."""
+        return self._safety[rows].copy()
+
+    def cells_present(self) -> set[int]:
+        """The owning cells of all maintained places."""
+        return set(np.unique(self._cell[: self._n]).tolist())
+
+    def safety_of(self, place_id: int) -> float:
+        return float(self._safety[self._row_of[place_id]])
+
+    def place_of(self, place_id: int) -> Place:
+        place = self._place_at[self._row_of[place_id]]
+        assert place is not None
+        return place
+
+    def set_safety(self, place_id: int, safety: float) -> None:
+        self._safety[self._row_of[place_id]] = safety
+
+    def safeties_snapshot(self) -> dict[int, float]:
+        """id -> safety for every maintained place (testing/diagnostics)."""
+        return {
+            int(self._ids[row]): float(self._safety[row])
+            for row in range(self._n)
+        }
+
+    def sk(self, k: int) -> float:
+        """The k-th smallest maintained safety; ``+inf`` with < k rows.
+
+        With fewer than ``k`` places maintained, *every* place qualifies
+        as top-k, so the threshold is unbounded.
+        """
+        if self._n < k:
+            return math.inf
+        return float(np.partition(self._safety[: self._n], k - 1)[k - 1])
+
+    def top_k(self, k: int) -> list[SafetyRecord]:
+        """The k least safe maintained places, ties broken by place id."""
+        n = self._n
+        if n == 0:
+            return []
+        safety = self._safety[:n]
+        cut = topk_rows(self._ids[:n], safety, k)
+        out = []
+        for row in cut.tolist():
+            place = self._place_at[row]
+            assert place is not None
+            out.append(SafetyRecord(place, float(safety[row])))
+        return out
+
+    def min_safety(self) -> float:
+        if self._n == 0:
+            return math.inf
+        return float(self._safety[: self._n].min())
+
+    # -- the hot path ---------------------------------------------------
+
+    def apply_unit_move(self, old: Point, new: Point, radius: float) -> int:
+        """Adjust every maintained safety for one unit's move.
+
+        A place gains 1 safety when it enters the new disk without having
+        been in the old one, loses 1 in the symmetric case. Returns the
+        number of rows scanned (for the cost counters).
+        """
+        n = self._n
+        if n == 0:
+            return 0
+        xs = self._xs[:n]
+        ys = self._ys[:n]
+        r2 = radius * radius
+        dxo = xs - old.x
+        dyo = ys - old.y
+        was = dxo * dxo + dyo * dyo <= r2
+        dxn = xs - new.x
+        dyn = ys - new.y
+        now = dxn * dxn + dyn * dyn <= r2
+        self._safety[:n] += now.astype(np.float64) - was.astype(np.float64)
+        return n
+
+    def apply_unit_move_weighted(
+        self, old: Point, new: Point, weight_of_distance
+    ) -> int:
+        """Decaying-protection version of :meth:`apply_unit_move`.
+
+        ``weight_of_distance`` maps a numpy distance array to protection
+        weights; each maintained safety changes by ``w(d_new) - w(d_old)``.
+        """
+        n = self._n
+        if n == 0:
+            return 0
+        xs = self._xs[:n]
+        ys = self._ys[:n]
+        d_old = np.hypot(xs - old.x, ys - old.y)
+        d_new = np.hypot(xs - new.x, ys - new.y)
+        self._safety[:n] += weight_of_distance(d_new) - weight_of_distance(d_old)
+        return n

@@ -1,0 +1,177 @@
+"""Server-side tracking of the protecting units.
+
+The server keeps the most recently reported location of every unit
+(§II-A). :class:`UnitIndex` owns that state for one monitor instance and
+provides the vectorised actual-protection kernel used whenever a cell's
+places must be (re)evaluated against *all* units.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.model import LocationUpdate, Unit
+
+
+class UnitIndex:
+    """Positions of all units, tracked per monitor.
+
+    All units share one protection range ``R`` (as in the paper); the
+    constructor rejects mixed ranges because the vectorised kernels and
+    the per-cell bound maintenance both assume a single radius.
+
+    The index copies the units it is given, so several monitors built
+    from the same initial fleet do not share mutable state.
+    """
+
+    def __init__(self, units: Iterable[Unit]) -> None:
+        units = list(units)
+        if not units:
+            raise ValueError("at least one protecting unit is required")
+        ranges = {u.protection_range for u in units}
+        if len(ranges) != 1:
+            raise ValueError(f"units must share one protection range, got {ranges}")
+        self.protection_range = ranges.pop()
+        self._units: dict[int, Unit] = {}
+        for u in units:
+            if u.unit_id in self._units:
+                raise ValueError(f"duplicate unit id {u.unit_id}")
+            self._units[u.unit_id] = Unit(u.unit_id, u.location, u.protection_range)
+        self._order = sorted(self._units)
+        self._row_of = {uid: row for row, uid in enumerate(self._order)}
+        n = len(self._order)
+        self._xs = np.empty(n, dtype=np.float64)
+        self._ys = np.empty(n, dtype=np.float64)
+        for uid, row in self._row_of.items():
+            loc = self._units[uid].location
+            self._xs[row] = loc.x
+            self._ys[row] = loc.y
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def __iter__(self) -> Iterator[Unit]:
+        for uid in self._order:
+            yield self._units[uid]
+
+    def __contains__(self, unit_id: int) -> bool:
+        return unit_id in self._units
+
+    def location_of(self, unit_id: int) -> Point:
+        """The most recently reported location of ``unit_id``."""
+        return self._units[unit_id].location
+
+    def apply(self, update: LocationUpdate) -> Point:
+        """Record a location update; returns the *tracked* old location.
+
+        The tracked location is authoritative: if the stream's
+        ``old_location`` disagrees with it the server state would be
+        inconsistent, so a mismatch raises.
+        """
+        unit = self._units.get(update.unit_id)
+        if unit is None:
+            raise KeyError(f"unknown unit {update.unit_id}")
+        old = unit.location
+        if old.squared_distance_to(update.old_location) > 1e-18:
+            raise ValueError(
+                f"update for unit {update.unit_id} carries old location "
+                f"{update.old_location} but the server tracks {old}"
+            )
+        unit.location = update.new_location
+        row = self._row_of[update.unit_id]
+        self._xs[row] = update.new_location.x
+        self._ys[row] = update.new_location.y
+        return old
+
+    def ap_counts(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Actual protection ``AP`` of each query point.
+
+        Counts, for every ``(xs[i], ys[i])``, the units whose closed
+        protection disk contains the point. Vectorised over both points
+        and units; memory is bounded by chunking the point axis.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        r2 = self.protection_range * self.protection_range
+        out = np.empty(len(xs), dtype=np.int64)
+        # ~4M matrix cells per chunk keeps temporaries small.
+        chunk = max(1, 4_000_000 // max(len(self._xs), 1))
+        for start in range(0, len(xs), chunk):
+            end = min(start + chunk, len(xs))
+            dx = xs[start:end, None] - self._xs[None, :]
+            dy = ys[start:end, None] - self._ys[None, :]
+            out[start:end] = np.count_nonzero(dx * dx + dy * dy <= r2, axis=1)
+        return out
+
+    def ap_counts_near(
+        self, xs: np.ndarray, ys: np.ndarray, rect
+    ) -> tuple[np.ndarray, int]:
+        """AP of points inside ``rect``, using only reachable units.
+
+        Implements the paper's "derive the protecting units whose
+        protecting regions intersect the cell" (§III-B/§IV-D): a unit
+        whose disk cannot reach into the rectangle cannot protect any
+        place in it, so it is excluded before the distance kernel runs.
+        Returns the counts and the number of units actually compared
+        (for the work counters). Callers must only pass points inside
+        ``rect``.
+        """
+        r = self.protection_range
+        dx = np.maximum(rect.xmin - self._xs, 0.0)
+        dx = np.maximum(dx, self._xs - rect.xmax)
+        dy = np.maximum(rect.ymin - self._ys, 0.0)
+        dy = np.maximum(dy, self._ys - rect.ymax)
+        reachable = dx * dx + dy * dy <= r * r
+        ux = self._xs[reachable]
+        uy = self._ys[reachable]
+        n_units = len(ux)
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if n_units == 0:
+            return np.zeros(len(xs), dtype=np.int64), 0
+        ddx = xs[:, None] - ux[None, :]
+        ddy = ys[:, None] - uy[None, :]
+        counts = np.count_nonzero(ddx * ddx + ddy * ddy <= r * r, axis=1)
+        return counts.astype(np.int64), n_units
+
+    def weighted_protection_near(
+        self, xs: np.ndarray, ys: np.ndarray, rect, weight_of_distance
+    ) -> tuple[np.ndarray, int]:
+        """Decaying-protection sums (§VII extension).
+
+        Like :meth:`ap_counts_near`, but instead of counting units inside
+        the disk it sums ``weight_of_distance(d)`` over the reachable
+        units, where ``weight_of_distance`` maps a numpy distance array
+        to a weight array (zero beyond the protection range).
+        """
+        r = self.protection_range
+        dx = np.maximum(rect.xmin - self._xs, 0.0)
+        dx = np.maximum(dx, self._xs - rect.xmax)
+        dy = np.maximum(rect.ymin - self._ys, 0.0)
+        dy = np.maximum(dy, self._ys - rect.ymax)
+        reachable = dx * dx + dy * dy <= r * r
+        ux = self._xs[reachable]
+        uy = self._ys[reachable]
+        n_units = len(ux)
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if n_units == 0:
+            return np.zeros(len(xs), dtype=np.float64), 0
+        ddx = xs[:, None] - ux[None, :]
+        ddy = ys[:, None] - uy[None, :]
+        distances = np.sqrt(ddx * ddx + ddy * ddy)
+        return weight_of_distance(distances).sum(axis=1), n_units
+
+    def ap_of_point(self, p: Point) -> int:
+        """Actual protection of a single point."""
+        dx = self._xs - p.x
+        dy = self._ys - p.y
+        r2 = self.protection_range * self.protection_range
+        return int(np.count_nonzero(dx * dx + dy * dy <= r2))
+
+    def snapshot_positions(self) -> np.ndarray:
+        """An ``(n, 2)`` copy of all unit positions (unit-id order)."""
+        return np.stack([self._xs, self._ys], axis=1).copy()

@@ -1,0 +1,26 @@
+"""The per-figure experiment registry.
+
+Every table and figure of the paper's evaluation (§VI) has an entry
+here, keyed by experiment id (``fig3`` ... ``fig9``, ``table3``), plus
+the ablations called out in DESIGN.md. Each entry knows how to build its
+workload, run the algorithms it compares, and render the series the
+paper plots. Both the ``benchmarks/`` suite and the CLI resolve
+experiments through :func:`get_experiment`.
+"""
+
+from repro.experiments.defaults import TABLE3_DEFAULTS, default_config
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+)
+
+__all__ = [
+    "TABLE3_DEFAULTS",
+    "default_config",
+    "Experiment",
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+]

@@ -1,0 +1,431 @@
+"""Ablation experiments (DESIGN.md §6).
+
+These are not paper figures; they probe the design choices the paper
+leaves implicit: the buffer pool of the two-level store, the strength of
+a purely-incremental full-table baseline, and the sensitivity of the
+schemes to road-network topology and place placement.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_monitor
+from repro.bench.workload import build_workload
+from repro.core.incremental import IncrementalNaiveCTUP
+from repro.experiments import defaults
+from repro.experiments.figures import _scaled
+from repro.experiments.registry import Experiment, ExperimentResult, register
+
+
+def run_ablation_buffer(scale: float | None = None, seed: int = 0) -> ExperimentResult:
+    """OptCTUP I/O with an LRU buffer pool of varying size."""
+    n_places, _, sweep_updates = _scaled(scale)
+    workload = build_workload(
+        n_units=defaults.N_UNITS,
+        n_places=n_places,
+        protection_range=defaults.PROTECTION_RANGE,
+        stream_length=sweep_updates,
+        seed=seed,
+    )
+    rows = []
+    for buffer_pages in (0, 16, 64, 256):
+        result = run_monitor(
+            "opt",
+            defaults.default_config(buffer_pages=buffer_pages),
+            workload,
+        )
+        rows.append(
+            [
+                buffer_pages,
+                result.io.page_reads,
+                result.io.buffered_reads,
+                result.avg_update_ms,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="ablation_buffer",
+        title="OptCTUP physical I/O vs buffer-pool size",
+        headers=["buffer pages", "physical reads", "buffered reads", "avg update ms"],
+        rows=rows,
+        notes=[
+            "expected: physical reads fall as the pool absorbs repeated "
+            "cell accesses; wall time is memory-resident either way"
+        ],
+    )
+
+
+def run_ablation_incremental(
+    scale: float | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Grid bounds versus a purely-incremental full-table baseline."""
+    n_places, comparison, _ = _scaled(scale)
+    workload = build_workload(
+        n_units=defaults.N_UNITS,
+        n_places=n_places,
+        protection_range=defaults.PROTECTION_RANGE,
+        stream_length=comparison,
+        seed=seed,
+    )
+    config = defaults.default_config()
+    results = {
+        "naive": run_monitor("naive", config, workload),
+        "incremental": run_monitor(
+            "incremental", config, workload, factory=IncrementalNaiveCTUP
+        ),
+        "opt": run_monitor("opt", config, workload),
+    }
+    rows = [
+        [
+            name,
+            r.avg_update_ms,
+            r.counters.distance_rows / max(r.n_updates, 1),
+            r.counters.maintained_scans / max(r.n_updates, 1),
+        ]
+        for name, r in results.items()
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_incremental",
+        title="Incrementality alone vs grid bounds",
+        headers=[
+            "algorithm",
+            "avg update ms",
+            "distance rows/upd",
+            "places scanned/upd",
+        ],
+        rows=rows,
+        notes=[
+            "incremental maintains all |P| safeties; opt touches only the "
+            "maintained fraction — the machine-independent counters show "
+            "the asymptotic gap even where numpy hides it in wall time"
+        ],
+    )
+
+
+def run_ablation_network(
+    scale: float | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Sensitivity to road-network topology."""
+    n_places, _, sweep_updates = _scaled(scale)
+    config = defaults.default_config()
+    rows = []
+    for network in ("grid", "radial", "random"):
+        workload = build_workload(
+            n_units=defaults.N_UNITS,
+            n_places=n_places,
+            protection_range=defaults.PROTECTION_RANGE,
+            stream_length=sweep_updates,
+            seed=seed,
+            network=network,
+        )
+        basic = run_monitor("basic", config, workload)
+        opt = run_monitor("opt", config, workload)
+        rows.append(
+            [
+                network,
+                basic.avg_update_ms,
+                opt.avg_update_ms,
+                basic.avg_update_ms / opt.avg_update_ms
+                if opt.avg_update_ms > 0
+                else float("nan"),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="ablation_network",
+        title="Update cost across road-network topologies",
+        headers=["network", "basic ms/upd", "opt ms/upd", "basic/opt"],
+        rows=rows,
+        notes=["expected: opt wins on every topology"],
+    )
+
+
+def run_ablation_placement(
+    scale: float | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Sensitivity to place placement (uniform vs clustered)."""
+    n_places, _, sweep_updates = _scaled(scale)
+    config = defaults.default_config()
+    rows = []
+    for placement in ("uniform", "clustered"):
+        workload = build_workload(
+            n_units=defaults.N_UNITS,
+            n_places=n_places,
+            protection_range=defaults.PROTECTION_RANGE,
+            stream_length=sweep_updates,
+            seed=seed,
+            placement=placement,
+        )
+        basic = run_monitor("basic", config, workload)
+        opt = run_monitor("opt", config, workload)
+        rows.append(
+            [
+                placement,
+                basic.avg_update_ms,
+                opt.avg_update_ms,
+                basic.counters.maintained_peak,
+                opt.counters.maintained_peak,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="ablation_placement",
+        title="Update cost for uniform vs clustered places",
+        headers=[
+            "placement",
+            "basic ms/upd",
+            "opt ms/upd",
+            "basic maintained peak",
+            "opt maintained peak",
+        ],
+        rows=rows,
+        notes=["expected: opt maintains far fewer places in both regimes"],
+    )
+
+
+def run_ablation_snapshot(
+    scale: float | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Cold-start snapshot top-k: full scan vs R-tree best-first."""
+    import time
+
+    from repro.core.units import UnitIndex
+    from repro.index import RTree, snapshot_top_k_unsafe
+    from repro.validate import Oracle
+
+    n_places, _, _ = _scaled(scale)
+    workload = build_workload(
+        n_units=defaults.N_UNITS,
+        n_places=n_places,
+        protection_range=defaults.PROTECTION_RANGE,
+        stream_length=0,
+        seed=seed,
+    )
+    units = UnitIndex(workload.units)
+    oracle = Oracle(workload.places, workload.units)
+    rows = []
+    for k in (5, 15, 50):
+        start = time.perf_counter()
+        tree = RTree(workload.places)
+        build_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        answer = snapshot_top_k_unsafe(tree, units, k)
+        query_seconds = time.perf_counter() - start
+        verdict = oracle.validate(answer.records, k)
+        if not verdict.ok:
+            raise AssertionError(verdict.problems[:3])
+        rows.append(
+            [
+                k,
+                query_seconds * 1e3,
+                answer.places_evaluated,
+                n_places,
+                answer.nodes_pruned,
+                build_seconds * 1e3,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="ablation_snapshot",
+        title="Snapshot top-k: R-tree best-first vs full scan",
+        headers=[
+            "k",
+            "query ms",
+            "places evaluated",
+            "full-scan places",
+            "nodes pruned",
+            "tree build ms",
+        ],
+        rows=rows,
+        notes=[
+            "the best-first search touches a fraction of the places a "
+            "cold full scan would; the bulk-load cost amortises over "
+            "repeated snapshots"
+        ],
+    )
+
+
+def run_ablation_batch(
+    scale: float | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Burst processing: access-loop deferral across batch sizes."""
+    from repro.core import OptCTUP
+    from repro.core.batch import BatchProcessor
+    from repro.validate import Oracle
+
+    n_places, _, sweep_updates = _scaled(scale)
+    workload = build_workload(
+        n_units=defaults.N_UNITS,
+        n_places=n_places,
+        protection_range=defaults.PROTECTION_RANGE,
+        stream_length=sweep_updates,
+        seed=seed,
+    )
+    config = defaults.default_config()
+    oracle = Oracle(workload.places, workload.units)
+    for update in workload.stream:
+        oracle.apply(update)
+    rows = []
+    for batch_size in (1, 4, 16, 64):
+        monitor = OptCTUP(config, workload.places, workload.units)
+        monitor.initialize()
+        init_accesses = monitor.counters.cells_accessed
+        processor = BatchProcessor(monitor)
+        processor.run_stream(workload.stream, batch_size)
+        verdict = oracle.validate(monitor.top_k(), config.k)
+        if not verdict.ok:
+            raise AssertionError(verdict.problems[:3])
+        rows.append(
+            [
+                batch_size,
+                monitor.counters.cells_accessed - init_accesses,
+                monitor.counters.total_update_time_s()
+                / len(workload.stream)
+                * 1e3,
+                processor.batches_processed,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="ablation_batch",
+        title="Burst processing: cell accesses vs batch size",
+        headers=["batch size", "cells accessed", "avg ms/update", "batches"],
+        rows=rows,
+        notes=[
+            "deferring the access loop to the end of each burst skips "
+            "cells whose bound dips below SK and recovers within the "
+            "burst; the final answer is identical (oracle-checked)"
+        ],
+    )
+
+
+def run_ablation_decay(
+    scale: float | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Decaying protection (§VII): cost of the generalised monitor."""
+    from repro.core import OptCTUP
+    from repro.ext import DecayCTUP, linear_decay, step_decay
+
+    n_places, _, sweep_updates = _scaled(scale)
+    workload = build_workload(
+        n_units=defaults.N_UNITS,
+        n_places=n_places,
+        protection_range=defaults.PROTECTION_RANGE,
+        stream_length=sweep_updates,
+        seed=seed,
+    )
+    config = defaults.default_config()
+    rows = []
+    variants = [
+        ("opt (integer)", lambda: OptCTUP(config, workload.places, workload.units)),
+        (
+            "decay step",
+            lambda: DecayCTUP(
+                config,
+                workload.places,
+                workload.units,
+                decay=step_decay(config.protection_range),
+            ),
+        ),
+        (
+            "decay linear",
+            lambda: DecayCTUP(
+                config,
+                workload.places,
+                workload.units,
+                decay=linear_decay(config.protection_range),
+            ),
+        ),
+    ]
+    for name, factory in variants:
+        monitor = factory()
+        monitor.initialize()
+        base = monitor.counters.snapshot()
+        monitor.run_stream(workload.stream)
+        diff = monitor.counters.snapshot() - base
+        rows.append(
+            [
+                name,
+                diff.total_update_time_s() / len(workload.stream) * 1e3,
+                diff.cells_accessed / len(workload.stream),
+                monitor.counters.maintained_peak,
+                monitor.sk(),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="ablation_decay",
+        title="Decaying protection vs the integer core model",
+        headers=["variant", "avg update ms", "cells/upd", "maintained peak", "final SK"],
+        rows=rows,
+        notes=[
+            "the step profile reproduces the integer model through the "
+            "generalised (no-DOO, loss-bounded) machinery; the linear "
+            "profile yields fractional safeties and a different SK"
+        ],
+    )
+
+
+register(
+    Experiment(
+        "ablation_decay",
+        "Decaying protection vs integer protection",
+        "DESIGN.md §7",
+        "ablation",
+        "generalised monitor stays near the core model's cost",
+        run_ablation_decay,
+    )
+)
+register(
+    Experiment(
+        "ablation_snapshot",
+        "Snapshot top-k via R-tree best-first",
+        "DESIGN.md §6",
+        "ablation",
+        "best-first evaluates far fewer places than a full scan",
+        run_ablation_snapshot,
+    )
+)
+register(
+    Experiment(
+        "ablation_batch",
+        "Burst processing vs per-update accesses",
+        "DESIGN.md §6",
+        "ablation",
+        "cell accesses fall as batch size grows; answers stay exact",
+        run_ablation_batch,
+    )
+)
+register(
+    Experiment(
+        "ablation_buffer",
+        "Buffer-pool size vs physical I/O",
+        "DESIGN.md §6",
+        "ablation",
+        "physical reads fall with pool size",
+        run_ablation_buffer,
+    )
+)
+register(
+    Experiment(
+        "ablation_incremental",
+        "Incrementality alone vs grid bounds",
+        "DESIGN.md §6",
+        "ablation",
+        "opt does asymptotically less work than the incremental baseline",
+        run_ablation_incremental,
+    )
+)
+register(
+    Experiment(
+        "ablation_network",
+        "Road-network topology sensitivity",
+        "DESIGN.md §6",
+        "ablation",
+        "opt wins on every topology",
+        run_ablation_network,
+    )
+)
+register(
+    Experiment(
+        "ablation_placement",
+        "Place-placement sensitivity",
+        "DESIGN.md §6",
+        "ablation",
+        "opt maintains far fewer places in both regimes",
+        run_ablation_placement,
+    )
+)

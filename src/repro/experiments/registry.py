@@ -1,0 +1,83 @@
+"""Experiment descriptors and the lookup table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.reporting import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated series of one paper artefact."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """The result as an aligned table plus notes."""
+        parts = [
+            format_table(self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}")
+        ]
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+
+Runner = Callable[..., ExperimentResult]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper artefact."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str  # e.g. "Fig. 4" / "Table III"
+    kind: str  # "figure" | "table" | "ablation"
+    expected_shape: str  # what EXPERIMENTS.md verifies
+    runner: Runner
+
+    def run(self, **kwargs) -> ExperimentResult:
+        return self.runner(**kwargs)
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (import-time side effect)."""
+    if experiment.experiment_id in _REGISTRY:
+        raise ValueError(f"duplicate experiment id {experiment.experiment_id}")
+    _REGISTRY[experiment.experiment_id] = experiment
+    return experiment
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look an experiment up by id (``fig4``, ``table3``, ...)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> list[Experiment]:
+    """All registered experiments, figures first, in paper order."""
+    _ensure_loaded()
+    return sorted(
+        _REGISTRY.values(),
+        key=lambda e: (e.kind != "table", e.kind == "ablation", e.experiment_id),
+    )
+
+
+def _ensure_loaded() -> None:
+    """Import the modules whose import registers the experiments."""
+    from repro.experiments import ablations, figures  # noqa: F401

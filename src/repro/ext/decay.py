@@ -1,0 +1,275 @@
+"""Decaying protection (§VII, second future-work direction).
+
+"The protection of unit to a place can be modeled as a decaying
+function, i.e. the farther away, the less protected." Protection
+becomes ``w(d)`` (1 at distance 0, 0 beyond the range R) and safety the
+real-valued ``Σ_u w(d(u, p)) - RP(p)``.
+
+The grid machinery survives the generalisation with two changes:
+
+* maintained safeties change by ``w(d_new) - w(d_old)`` per unit move;
+* cell bounds decrease by a *bound on the possible loss*: a unit moving
+  a distance ``m`` can reduce any place's protection by at most
+  ``max_loss(m)`` (the weight function's modulus of continuity), and by
+  no more than the largest weight it could have exerted on the cell at
+  all, ``w(mindist(old, cell))``.
+
+DOO does not carry over unchanged (decrements are fractional and
+per-move, not per-membership-flip), so this monitor uses the
+conservative decrement rule only; the Δ slack works exactly as in
+OptCTUP. With the step weight the scheme degenerates to integer
+safeties and matches the core monitors — the test suite checks that.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import CTUPConfig
+from repro.core.metrics import InitReport, UpdateReport
+from repro.core.monitor import CTUPMonitor
+from repro.core.topk import MaintainedPlaces, kth_smallest
+from repro.geometry import Circle, Point
+from repro.geometry.distance import point_rect_distance
+from repro.grid.cellstate import CellState
+from repro.grid.partition import CellId
+from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+
+
+@dataclass(frozen=True)
+class DecayModel:
+    """A protection-weight profile.
+
+    ``weight`` maps distances (numpy array) to protection weights in
+    ``[0, 1]``, zero at and beyond the protection range. ``max_loss``
+    bounds how much one unit's contribution to any single place can drop
+    when the unit moves a given distance.
+    """
+
+    name: str
+    weight: Callable[[np.ndarray], np.ndarray]
+    max_loss: Callable[[float], float]
+
+    def weight_at(self, distance: float) -> float:
+        """Scalar convenience wrapper around ``weight``."""
+        return float(self.weight(np.array([distance]))[0])
+
+
+def linear_decay(radius: float) -> DecayModel:
+    """Protection falling linearly from 1 (at the unit) to 0 (at R)."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+
+    def weight(d: np.ndarray) -> np.ndarray:
+        return np.clip(1.0 - d / radius, 0.0, 1.0)
+
+    def max_loss(move: float) -> float:
+        # w is (1/R)-Lipschitz, and no loss can exceed the full weight.
+        return min(1.0, move / radius)
+
+    return DecayModel("linear", weight, max_loss)
+
+
+def step_decay(radius: float) -> DecayModel:
+    """The paper's core model as a decay profile: 1 inside R, 0 outside."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+
+    def weight(d: np.ndarray) -> np.ndarray:
+        return (d <= radius).astype(np.float64)
+
+    def max_loss(move: float) -> float:
+        return 1.0 if move > 0 else 0.0
+
+    return DecayModel("step", weight, max_loss)
+
+
+class DecayCTUP(CTUPMonitor):
+    """Top-k unsafe places under a decaying protection function."""
+
+    name = "decay"
+
+    def __init__(
+        self,
+        config: CTUPConfig,
+        places: Sequence[Place],
+        units: Iterable[Unit],
+        decay: DecayModel | None = None,
+    ) -> None:
+        super().__init__(config, places, units)
+        self.decay = decay or linear_decay(config.protection_range)
+        self.cell_states: dict[CellId, CellState] = {}
+        self.maintained = MaintainedPlaces()
+
+    # -- initialization ----------------------------------------------------
+
+    def initialize(self) -> InitReport:
+        self._require_not_initialized()
+        start = time.perf_counter()
+        for cell in self.store.occupied_cells():
+            arrays = self.store.cell_arrays(cell)
+            protection, compared = self.units.weighted_protection_near(
+                arrays.xs, arrays.ys, self.grid.cell_rect(cell), self.decay.weight
+            )
+            safeties = protection - arrays.required
+            self.counters.distance_rows += len(arrays) * compared
+            self.counters.places_loaded += len(arrays)
+            self.cell_states[cell] = CellState(
+                lower_bound=float(safeties.min()),
+                place_count=len(arrays),
+            )
+        accessed: list[tuple[CellId, list[Place], np.ndarray]] = []
+        scratch: list[np.ndarray] = []
+        sk = math.inf
+        by_bound = sorted(
+            self.cell_states, key=lambda c: self.cell_states[c].lower_bound
+        )
+        for cell in by_bound:
+            if sk <= self.cell_states[cell].lower_bound:
+                break
+            places, safeties = self._evaluate_cell(cell)
+            accessed.append((cell, places, safeties))
+            scratch.append(safeties)
+            sk = kth_smallest(np.concatenate(scratch), self.config.k)
+        threshold = sk + self.config.delta
+        for cell, places, safeties in accessed:
+            state = self.cell_states[cell]
+            state.access_count += 1
+            linear = self.grid.linear(cell)
+            keep = (safeties < threshold) | (safeties <= sk)
+            dropped = safeties[~keep]
+            state.lower_bound = (
+                float(dropped.min()) if len(dropped) else math.inf
+            )
+            for place, safety, kept in zip(places, safeties, keep):
+                if kept:
+                    self.maintained.insert(place, float(safety), linear)
+        elapsed = time.perf_counter() - start
+        self.counters.time_init_s = elapsed
+        self._initialized = True
+        return InitReport(
+            seconds=elapsed,
+            cells_accessed=self.counters.cells_accessed,
+            places_loaded=self.counters.places_loaded,
+            sk=self.sk(),
+            maintained_places=len(self.maintained),
+        )
+
+    def _evaluate_cell(self, cell: CellId) -> tuple[list[Place], np.ndarray]:
+        places, arrays = self.store.read_cell_with_arrays(cell)
+        protection, compared = self.units.weighted_protection_near(
+            arrays.xs, arrays.ys, self.grid.cell_rect(cell), self.decay.weight
+        )
+        safeties = (protection - arrays.required).astype(np.float64)
+        self.counters.cells_accessed += 1
+        self.counters.places_loaded += len(places)
+        self.counters.distance_rows += len(places) * compared
+        return places, safeties
+
+    # -- update -------------------------------------------------------------
+
+    def process(self, update: LocationUpdate) -> UpdateReport:
+        self._require_initialized()
+        start = time.perf_counter()
+        old = self.units.apply(update)
+        new = update.new_location
+        radius = self.config.protection_range
+
+        scanned = self.maintained.apply_unit_move_weighted(
+            old, new, self.decay.weight
+        )
+        self.counters.maintained_scans += scanned
+        self.counters.distance_rows += 2 * scanned
+
+        self._decay_bounds(old, new, radius)
+        mid = time.perf_counter()
+        accessed = self._access_below_sk()
+        end = time.perf_counter()
+
+        self.counters.updates_processed += 1
+        self.counters.time_maintain_s += mid - start
+        self.counters.time_access_s += end - mid
+        self.counters.maintained_peak = max(
+            self.counters.maintained_peak, len(self.maintained)
+        )
+        return UpdateReport(
+            unit_id=update.unit_id,
+            sk=self.sk(),
+            cells_accessed=accessed,
+            maintain_seconds=mid - start,
+            access_seconds=end - mid,
+        )
+
+    def _decay_bounds(self, old: Point, new: Point, radius: float) -> None:
+        """Lower every reachable cell's bound by the possible loss."""
+        move = old.distance_to(new)
+        loss_by_move = self.decay.max_loss(move)
+        if loss_by_move <= 0:
+            return
+        old_disk = Circle(old, radius)
+        for cell in self.grid.cells_touching_circle(old_disk):
+            state = self.cell_states.get(cell)
+            if state is None:
+                continue
+            # the unit cannot take away more weight than it could exert
+            # on the cell's closest point before the move.
+            reach = self.decay.weight_at(
+                point_rect_distance(old, self.grid.cell_rect(cell))
+            )
+            loss = min(loss_by_move, reach)
+            if loss > 0:
+                state.decrease(loss)
+                self.counters.lb_decrements += 1
+
+    def _access_below_sk(self) -> int:
+        accessed = 0
+        while True:
+            sk = self.sk()
+            best: CellId | None = None
+            best_bound = math.inf
+            for cell, state in self.cell_states.items():
+                if state.lower_bound < sk and state.lower_bound < best_bound:
+                    best_bound = state.lower_bound
+                    best = cell
+            if best is None:
+                return accessed
+            self._access_cell(best)
+            accessed += 1
+
+    def _access_cell(self, cell: CellId) -> None:
+        state = self.cell_states[cell]
+        linear = self.grid.linear(cell)
+        self.maintained.remove_cell(linear)
+        places, safeties = self._evaluate_cell(cell)
+        sk_before = self.sk()
+        merged = (
+            np.concatenate(
+                [safeties, np.array(list(
+                    self.maintained.safeties_snapshot().values()
+                ))]
+            )
+            if len(self.maintained)
+            else safeties
+        )
+        sk = min(sk_before, kth_smallest(merged, self.config.k))
+        threshold = sk + self.config.delta
+        keep = (safeties < threshold) | (safeties <= sk)
+        dropped = safeties[~keep]
+        state.lower_bound = float(dropped.min()) if len(dropped) else math.inf
+        for place, safety, kept in zip(places, safeties, keep):
+            if kept:
+                self.maintained.insert(place, float(safety), linear)
+        state.access_count += 1
+
+    # -- result ---------------------------------------------------------------
+
+    def top_k(self) -> list[SafetyRecord]:
+        return self.maintained.top_k(self.config.k)
+
+    def sk(self) -> float:
+        return self.maintained.sk(self.config.k)

@@ -1,0 +1,374 @@
+"""Places with extent (§VII, first future-work direction).
+
+"The places may have extent, either because some place may have
+non-negligible extent or because some nearby places should be combined."
+A place becomes an axis-aligned rectangle; a unit protects it when the
+protection disk intersects the rectangle (the natural reading of
+Definition 1 for extended objects).
+
+The grid machinery generalises through one idea: classify each unit's
+disk not against the bare cell but against the cell *inflated* by the
+maximum place extent. Every place rectangle whose anchor (centre) lies
+in a cell is contained in that inflated cell, so
+
+* disk ∩ inflated cell = ∅  ⇒ the disk touches no place of the cell (N);
+* disk ⊇ inflated cell      ⇒ the disk covers every place of the cell (F);
+
+and Table I stays sound verbatim. DOO is orthogonal and omitted here for
+clarity; the Δ slack works unchanged.
+
+Places live in an in-memory per-cell index rather than the paged store —
+the storage layer is exercised by the core monitors; this extension
+focuses on the geometric generalisation.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import CTUPConfig
+from repro.core.metrics import InitReport, MonitorCounters, UpdateReport
+from repro.core.tables import table1_delta
+from repro.core.units import UnitIndex
+from repro.geometry import Circle, Point, Rect
+from repro.geometry.relations import classify_circle_rect
+from repro.grid.cellstate import CellState
+from repro.grid.partition import CellId, GridPartition
+from repro.model import LocationUpdate, Unit
+
+
+@dataclass(frozen=True, slots=True)
+class ExtentPlace:
+    """A protected place with rectangular extent."""
+
+    place_id: int
+    extent: Rect
+    required_protection: int
+    kind: str = "place"
+
+    def __post_init__(self) -> None:
+        if self.required_protection < 0:
+            raise ValueError(
+                f"place {self.place_id}: required protection must be >= 0"
+            )
+
+    def anchor(self) -> Point:
+        """The centre of the extent; decides the owning grid cell."""
+        return self.extent.center()
+
+
+@dataclass(frozen=True, slots=True)
+class ExtentRecord:
+    """A reported (place, safety) pair."""
+
+    place: ExtentPlace
+    safety: float
+
+    @property
+    def place_id(self) -> int:
+        return self.place.place_id
+
+
+class _CellData:
+    """Columnar view of one cell's extended places."""
+
+    __slots__ = ("places", "xmin", "ymin", "xmax", "ymax", "required", "ids")
+
+    def __init__(self, places: list[ExtentPlace]) -> None:
+        self.places = places
+        self.xmin = np.array([p.extent.xmin for p in places])
+        self.ymin = np.array([p.extent.ymin for p in places])
+        self.xmax = np.array([p.extent.xmax for p in places])
+        self.ymax = np.array([p.extent.ymax for p in places])
+        self.required = np.array(
+            [p.required_protection for p in places], dtype=np.float64
+        )
+        self.ids = np.array([p.place_id for p in places], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.places)
+
+    def disk_intersections(self, center: Point, radius: float) -> np.ndarray:
+        """Boolean mask: which place rectangles the disk intersects."""
+        dx = np.maximum(self.xmin - center.x, 0.0)
+        dx = np.maximum(dx, center.x - self.xmax)
+        dy = np.maximum(self.ymin - center.y, 0.0)
+        dy = np.maximum(dy, center.y - self.ymax)
+        return dx * dx + dy * dy <= radius * radius
+
+    def disk_covers(self, center: Point, radius: float) -> np.ndarray:
+        """Boolean mask: which place rectangles the disk fully contains.
+
+        True when the farthest rectangle corner lies inside the disk —
+        the "covers" protection semantics for extended places.
+        """
+        dx = np.maximum(center.x - self.xmin, self.xmax - center.x)
+        dy = np.maximum(center.y - self.ymin, self.ymax - center.y)
+        return dx * dx + dy * dy <= radius * radius
+
+    def protection_mask(
+        self, center: Point, radius: float, semantics: str
+    ) -> np.ndarray:
+        if semantics == "intersects":
+            return self.disk_intersections(center, radius)
+        if semantics == "covers":
+            return self.disk_covers(center, radius)
+        raise ValueError(f"unknown semantics {semantics!r}")
+
+
+class ExtentCTUP:
+    """Top-k unsafe monitoring for places with rectangular extent."""
+
+    name = "extent"
+
+    def __init__(
+        self,
+        config: CTUPConfig,
+        places: Sequence[ExtentPlace],
+        units: Iterable[Unit],
+        semantics: str = "intersects",
+    ) -> None:
+        """``semantics`` decides when a unit protects an extended place:
+        ``"intersects"`` (the disk touches the rectangle — the default,
+        generous reading of Definition 1) or ``"covers"`` (the disk must
+        contain the whole rectangle — a guard that cannot see the whole
+        compound protects none of it)."""
+        places = list(places)
+        if not places:
+            raise ValueError("need at least one place")
+        if semantics not in ("intersects", "covers"):
+            raise ValueError(f"unknown semantics {semantics!r}")
+        self.semantics = semantics
+        self.config = config
+        self.grid = GridPartition(
+            config.space, config.granularity, config.granularity
+        )
+        self.units = UnitIndex(units)
+        self.counters = MonitorCounters()
+        self._cells: dict[CellId, _CellData] = {}
+        by_cell: dict[CellId, list[ExtentPlace]] = {}
+        half_w = 0.0
+        half_h = 0.0
+        seen: set[int] = set()
+        for place in places:
+            if place.place_id in seen:
+                raise ValueError(f"duplicate place id {place.place_id}")
+            seen.add(place.place_id)
+            by_cell.setdefault(self.grid.cell_of(place.anchor()), []).append(place)
+            half_w = max(half_w, place.extent.width / 2.0)
+            half_h = max(half_h, place.extent.height / 2.0)
+        #: inflating cells by the max half-extent makes N/F conservative.
+        self._margin = max(half_w, half_h)
+        for cell, cell_places in by_cell.items():
+            self._cells[cell] = _CellData(cell_places)
+        self.cell_states: dict[CellId, CellState] = {}
+        #: maintained places: id -> (place, safety); cell -> ids.
+        self._maintained: dict[int, tuple[ExtentPlace, float]] = {}
+        self._maintained_by_cell: dict[CellId, set[int]] = {}
+        self._initialized = False
+
+    # -- safety kernel ---------------------------------------------------------
+
+    def _cell_safeties(self, cell: CellId) -> np.ndarray:
+        data = self._cells[cell]
+        protection = np.zeros(len(data), dtype=np.float64)
+        for unit in self.units:
+            protection += data.protection_mask(
+                unit.location, unit.protection_range, self.semantics
+            )
+        self.counters.distance_rows += len(data) * len(self.units)
+        return protection - data.required
+
+    def _inflated_rect(self, cell: CellId) -> Rect:
+        return self.grid.cell_rect(cell).inflated(self._margin)
+
+    # -- initialization ----------------------------------------------------------
+
+    def initialize(self) -> InitReport:
+        if self._initialized:
+            raise RuntimeError("initialize() may run only once")
+        start = time.perf_counter()
+        for cell, data in self._cells.items():
+            safeties = self._cell_safeties(cell)
+            self.cell_states[cell] = CellState(
+                lower_bound=float(safeties.min()), place_count=len(data)
+            )
+        sk = math.inf
+        scratch: list[np.ndarray] = []
+        accessed: list[tuple[CellId, np.ndarray]] = []
+        for cell in sorted(
+            self.cell_states, key=lambda c: self.cell_states[c].lower_bound
+        ):
+            if sk <= self.cell_states[cell].lower_bound:
+                break
+            safeties = self._cell_safeties(cell)
+            accessed.append((cell, safeties))
+            scratch.append(safeties)
+            merged = np.concatenate(scratch)
+            sk = (
+                float(np.partition(merged, self.config.k - 1)[self.config.k - 1])
+                if len(merged) >= self.config.k
+                else math.inf
+            )
+            self.counters.cells_accessed += 1
+        threshold = sk + self.config.delta
+        for cell, safeties in accessed:
+            self._absorb_cell(cell, safeties, sk, threshold)
+        elapsed = time.perf_counter() - start
+        self.counters.time_init_s = elapsed
+        self._initialized = True
+        return InitReport(
+            seconds=elapsed,
+            cells_accessed=self.counters.cells_accessed,
+            places_loaded=sum(len(d) for d in self._cells.values()),
+            sk=self.sk(),
+            maintained_places=len(self._maintained),
+        )
+
+    def _absorb_cell(
+        self, cell: CellId, safeties: np.ndarray, sk: float, threshold: float
+    ) -> None:
+        """Keep the band members of a freshly evaluated cell."""
+        data = self._cells[cell]
+        state = self.cell_states[cell]
+        state.access_count += 1
+        kept = self._maintained_by_cell.setdefault(cell, set())
+        dropped_min = math.inf
+        for place, safety in zip(data.places, safeties):
+            safety = float(safety)
+            if safety < threshold or safety <= sk:
+                self._maintained[place.place_id] = (place, safety)
+                kept.add(place.place_id)
+            else:
+                dropped_min = min(dropped_min, safety)
+        state.lower_bound = dropped_min
+
+    # -- update ---------------------------------------------------------------------
+
+    def process(self, update: LocationUpdate) -> UpdateReport:
+        if not self._initialized:
+            raise RuntimeError("initialize() must be called before processing")
+        start = time.perf_counter()
+        old = self.units.apply(update)
+        new = update.new_location
+        radius = self.config.protection_range
+
+        # Step 1: adjust maintained safeties (disk-rect intersection flips).
+        for pid, (place, safety) in list(self._maintained.items()):
+            was = _protects(old, radius, place.extent, self.semantics)
+            now = _protects(new, radius, place.extent, self.semantics)
+            if was != now:
+                self._maintained[pid] = (place, safety + (1 if now else -1))
+        self.counters.maintained_scans += len(self._maintained)
+
+        # Step 2: Table I against the inflated cells.
+        reach = radius + self._margin
+        candidates = set(
+            self.grid.cells_touching_circle(Circle(old, reach))
+        )
+        candidates.update(self.grid.cells_touching_circle(Circle(new, reach)))
+        for cell in candidates:
+            state = self.cell_states.get(cell)
+            if state is None:
+                continue
+            rect = self._inflated_rect(cell)
+            delta = table1_delta(
+                classify_circle_rect(Circle(old, radius), rect),
+                classify_circle_rect(Circle(new, radius), rect),
+            )
+            if delta > 0:
+                state.increase(delta)
+                self.counters.lb_increments += 1
+            elif delta < 0:
+                state.decrease(-delta)
+                self.counters.lb_decrements += 1
+        mid = time.perf_counter()
+
+        # Step 3: re-evaluate offending cells.
+        accessed = 0
+        while True:
+            sk = self.sk()
+            best = None
+            best_bound = math.inf
+            for cell, state in self.cell_states.items():
+                if state.lower_bound < sk and state.lower_bound < best_bound:
+                    best_bound = state.lower_bound
+                    best = cell
+            if best is None:
+                break
+            self._reaccess(best)
+            accessed += 1
+        end = time.perf_counter()
+
+        self.counters.updates_processed += 1
+        self.counters.time_maintain_s += mid - start
+        self.counters.time_access_s += end - mid
+        self.counters.maintained_peak = max(
+            self.counters.maintained_peak, len(self._maintained)
+        )
+        return UpdateReport(
+            unit_id=update.unit_id,
+            sk=self.sk(),
+            cells_accessed=accessed,
+            maintain_seconds=mid - start,
+            access_seconds=end - mid,
+        )
+
+    def _reaccess(self, cell: CellId) -> None:
+        for pid in self._maintained_by_cell.get(cell, set()):
+            del self._maintained[pid]
+        self._maintained_by_cell[cell] = set()
+        safeties = self._cell_safeties(cell)
+        self.counters.cells_accessed += 1
+        merged = list(safety for _, safety in self._maintained.values())
+        merged.extend(float(s) for s in safeties)
+        arr = np.array(merged)
+        sk = (
+            float(np.partition(arr, self.config.k - 1)[self.config.k - 1])
+            if len(arr) >= self.config.k
+            else math.inf
+        )
+        self._absorb_cell(cell, safeties, sk, sk + self.config.delta)
+
+    # -- result -------------------------------------------------------------------------
+
+    def top_k(self) -> list[ExtentRecord]:
+        """The k least safe places, ties broken by place id."""
+        ranked = sorted(
+            self._maintained.values(), key=lambda ps: (ps[1], ps[0].place_id)
+        )
+        return [
+            ExtentRecord(place, safety)
+            for place, safety in ranked[: self.config.k]
+        ]
+
+    def sk(self) -> float:
+        if len(self._maintained) < self.config.k:
+            return math.inf
+        safeties = sorted(safety for _, safety in self._maintained.values())
+        return safeties[self.config.k - 1]
+
+
+def _disk_meets_rect(center: Point, radius: float, rect: Rect) -> bool:
+    """Whether the closed disk intersects the closed rectangle."""
+    dx = max(rect.xmin - center.x, 0.0, center.x - rect.xmax)
+    dy = max(rect.ymin - center.y, 0.0, center.y - rect.ymax)
+    return dx * dx + dy * dy <= radius * radius
+
+
+def _disk_covers_rect(center: Point, radius: float, rect: Rect) -> bool:
+    """Whether the closed disk contains the whole rectangle."""
+    dx = max(center.x - rect.xmin, rect.xmax - center.x)
+    dy = max(center.y - rect.ymin, rect.ymax - center.y)
+    return dx * dx + dy * dy <= radius * radius
+
+
+def _protects(center: Point, radius: float, rect: Rect, semantics: str) -> bool:
+    if semantics == "covers":
+        return _disk_covers_rect(center, radius, rect)
+    return _disk_meets_rect(center, radius, rect)

@@ -1,0 +1,119 @@
+"""The predictive variant (§VII, fourth future-work direction).
+
+"Instead of monitoring, the user may want the system to continuously
+predict the unsafe places in the near future." This module estimates a
+velocity for every unit from its two most recent reports, extrapolates
+all positions ``horizon`` time units ahead (clamped to the monitored
+space), and evaluates the top-k unsafe places of that predicted world
+with one vectorised snapshot query.
+
+Prediction is a *view* over the observed stream: feed the same updates
+to a live monitor and a :class:`PredictiveMonitor` and ask the latter
+where trouble will be, not where it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.topk import topk_rows
+from repro.geometry import Point, Rect
+from repro.model import LocationUpdate, Place, Unit
+
+
+@dataclass(frozen=True, slots=True)
+class PredictedRecord:
+    """One predicted top-k entry."""
+
+    place: Place
+    predicted_safety: float
+    horizon: float
+
+    @property
+    def place_id(self) -> int:
+        return self.place.place_id
+
+
+class PredictiveMonitor:
+    """Velocity-extrapolated top-k unsafe-place prediction."""
+
+    def __init__(
+        self,
+        places: Sequence[Place],
+        units: Iterable[Unit],
+        space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+    ) -> None:
+        places = list(places)
+        if not places:
+            raise ValueError("need at least one place")
+        self._places = places
+        self._space = space
+        self._xs = np.array([p.location.x for p in places])
+        self._ys = np.array([p.location.y for p in places])
+        self._required = np.array(
+            [p.required_protection for p in places], dtype=np.float64
+        )
+        self._ids = np.array([p.place_id for p in places], dtype=np.int64)
+        self._pos: dict[int, Point] = {}
+        self._velocity: dict[int, tuple[float, float]] = {}
+        self._last_time: dict[int, float] = {}
+        ranges = set()
+        for u in units:
+            self._pos[u.unit_id] = u.location
+            self._velocity[u.unit_id] = (0.0, 0.0)
+            self._last_time[u.unit_id] = 0.0
+            ranges.add(u.protection_range)
+        if len(ranges) != 1:
+            raise ValueError("units must share one protection range")
+        self._radius = ranges.pop()
+
+    def observe(self, update: LocationUpdate) -> None:
+        """Absorb a location update, refreshing the unit's velocity."""
+        if update.unit_id not in self._pos:
+            raise KeyError(f"unknown unit {update.unit_id}")
+        previous = self._pos[update.unit_id]
+        dt = update.timestamp - self._last_time[update.unit_id]
+        if dt > 0:
+            self._velocity[update.unit_id] = (
+                (update.new_location.x - previous.x) / dt,
+                (update.new_location.y - previous.y) / dt,
+            )
+        self._pos[update.unit_id] = update.new_location
+        self._last_time[update.unit_id] = update.timestamp
+
+    def predicted_positions(self, horizon: float) -> dict[int, Point]:
+        """Where every unit is expected to be ``horizon`` from now."""
+        if horizon < 0:
+            raise ValueError("horizon cannot be negative")
+        predicted = {}
+        for unit_id, position in self._pos.items():
+            vx, vy = self._velocity[unit_id]
+            predicted[unit_id] = self._space.clamp_point(
+                Point(position.x + vx * horizon, position.y + vy * horizon)
+            )
+        return predicted
+
+    def predict_top_k(self, k: int, horizon: float) -> list[PredictedRecord]:
+        """The k places expected to be least safe at ``now + horizon``."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        positions = self.predicted_positions(horizon)
+        ux = np.array([p.x for p in positions.values()])
+        uy = np.array([p.y for p in positions.values()])
+        r2 = self._radius * self._radius
+        dx = self._xs[:, None] - ux[None, :]
+        dy = self._ys[:, None] - uy[None, :]
+        ap = np.count_nonzero(dx * dx + dy * dy <= r2, axis=1)
+        safety = ap - self._required
+        rows = topk_rows(self._ids, safety, k)
+        return [
+            PredictedRecord(
+                place=self._places[int(row)],
+                predicted_safety=float(safety[row]),
+                horizon=horizon,
+            )
+            for row in rows.tolist()
+        ]

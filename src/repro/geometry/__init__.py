@@ -1,0 +1,32 @@
+"""Geometry kernel for the CTUP reproduction.
+
+Everything the monitors need from computational geometry lives here:
+points, axis-aligned rectangles, circles (protection disks), distance
+helpers and — most importantly — the circle-versus-rectangle
+classification into *no intersection* (N), *partial intersection* (P)
+and *full containment* (F) that drives the lower-bound maintenance
+tables of both BasicCTUP (Table I) and OptCTUP (Table II).
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.circle import Circle
+from repro.geometry.distance import (
+    euclidean,
+    euclidean_squared,
+    point_rect_distance,
+    point_rect_max_distance,
+)
+from repro.geometry.relations import CellRelation, classify_circle_rect
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Circle",
+    "euclidean",
+    "euclidean_squared",
+    "point_rect_distance",
+    "point_rect_max_distance",
+    "CellRelation",
+    "classify_circle_rect",
+]

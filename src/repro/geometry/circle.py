@@ -1,0 +1,57 @@
+"""Circles — the protection disks of Definition 1.
+
+A unit ``u`` protects a place ``p`` when ``p`` lies in the *closed* disk
+of radius ``R`` centred on ``u``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A closed disk ``{q : |q - center| <= radius}``."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"negative radius: {self.radius}")
+
+    def contains_point(self, p: Point) -> bool:
+        """Whether ``p`` is inside the closed disk."""
+        return self.center.squared_distance_to(p) <= self.radius * self.radius
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """Whether the disk fully contains the rectangle.
+
+        True iff the farthest rectangle corner lies within the disk —
+        the F (fully-contains) relation of Tables I/II.
+        """
+        r2 = self.radius * self.radius
+        return all(
+            self.center.squared_distance_to(c) <= r2 for c in rect.corners()
+        )
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Whether the disk and the rectangle share at least one point."""
+        nearest = rect.clamp_point(self.center)
+        return self.contains_point(nearest)
+
+    def bounding_rect(self) -> Rect:
+        """The axis-aligned bounding rectangle of the disk."""
+        return Rect(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+    def moved_to(self, center: Point) -> "Circle":
+        """The same disk re-centred — a unit's disk after a location update."""
+        return Circle(center, self.radius)

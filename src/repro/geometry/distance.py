@@ -1,0 +1,43 @@
+"""Distance helpers shared by the geometry kernel and the monitors."""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def euclidean_squared(a: Point, b: Point) -> float:
+    """Squared Euclidean distance between two points."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return dx * dx + dy * dy
+
+
+def point_rect_distance(p: Point, rect: Rect) -> float:
+    """Minimum distance from ``p`` to the (closed) rectangle.
+
+    Zero when ``p`` lies inside the rectangle. This is the *minimum*
+    distance used to decide the N (no-intersection) relation: a disk of
+    radius R misses the rectangle iff this distance exceeds R.
+    """
+    dx = max(rect.xmin - p.x, 0.0, p.x - rect.xmax)
+    dy = max(rect.ymin - p.y, 0.0, p.y - rect.ymax)
+    return math.hypot(dx, dy)
+
+
+def point_rect_max_distance(p: Point, rect: Rect) -> float:
+    """Maximum distance from ``p`` to any point of the rectangle.
+
+    Attained at the corner farthest from ``p``. A disk of radius R fully
+    contains the rectangle (relation F) iff this distance is <= R.
+    """
+    dx = max(p.x - rect.xmin, rect.xmax - p.x)
+    dy = max(p.y - rect.ymin, rect.ymax - p.y)
+    return math.hypot(dx, dy)

@@ -1,0 +1,45 @@
+"""2D points.
+
+A :class:`Point` is an immutable pair of floats. Protecting units and
+(point-shaped) places both carry their location as a ``Point``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable location in the plane.
+
+    The CTUP paper works in a longitude/latitude plane normalised by the
+    workload generator to the unit square; nothing here assumes that
+    normalisation, but all default parameters do.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other`` (avoids the sqrt)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point displaced by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The ``(x, y)`` tuple, handy for numpy interop."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y

@@ -1,0 +1,51 @@
+"""Circle-versus-rectangle classification.
+
+Both CTUP schemes maintain per-cell safety lower bounds by looking at how
+a unit's protection disk relates to each grid cell, *before* and *after*
+a location update. Tables I and II of the paper are keyed on exactly
+three relations:
+
+* ``N`` — the disk and the cell do not intersect;
+* ``P`` — they partially intersect;
+* ``F`` — the disk fully contains the cell.
+
+The relations are defined on the closed disk and the closed rectangle,
+consistent with Definition 1 (a place on the boundary is protected).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.geometry.circle import Circle
+from repro.geometry.distance import point_rect_distance, point_rect_max_distance
+from repro.geometry.rect import Rect
+
+
+class CellRelation(enum.Enum):
+    """How a protection disk relates to a grid cell."""
+
+    NO_INTERSECT = "N"
+    PARTIAL = "P"
+    FULL = "F"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def classify_circle_rect(circle: Circle, rect: Rect) -> CellRelation:
+    """Classify ``circle`` against ``rect`` as N, P or F.
+
+    * F when the farthest rectangle corner is within the disk;
+    * N when the nearest rectangle point is outside the disk;
+    * P otherwise.
+
+    The F test is checked first: for a degenerate (point) rectangle the
+    minimum and maximum distances coincide and containment must win over
+    mere intersection.
+    """
+    if point_rect_max_distance(circle.center, rect) <= circle.radius:
+        return CellRelation.FULL
+    if point_rect_distance(circle.center, rect) > circle.radius:
+        return CellRelation.NO_INTERSECT
+    return CellRelation.PARTIAL

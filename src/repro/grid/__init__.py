@@ -1,0 +1,13 @@
+"""Uniform space partitioning.
+
+The paper partitions the 2D map into ``X x Y`` disjoint cells (storage
+model of §II-A). This package provides the partition itself plus the
+candidate-cell enumeration used on every location update: only cells
+whose rectangle meets the old or new protection disk can change their
+N/P/F relation, so only those need Table I / Table II processing.
+"""
+
+from repro.grid.partition import CellId, GridPartition
+from repro.grid.cellstate import CellState
+
+__all__ = ["CellId", "GridPartition", "CellState"]

@@ -1,0 +1,42 @@
+"""Per-cell monitoring state.
+
+Both monitors keep one :class:`CellState` per grid cell. BasicCTUP uses
+the ``illuminated`` flag (Fig. 1); OptCTUP keeps every cell dark and only
+uses the lower bound (Fig. 2). The lower bound is a float so that the
+decaying-protection extension (real-valued safeties) can reuse the same
+state; the core monitors only ever store integers or ``+inf`` in it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class CellState:
+    """Mutable monitoring state of one grid cell.
+
+    ``lower_bound`` is a certified lower bound on the safety of the
+    cell's *tracked-by-bound* places: all places of the cell in
+    BasicCTUP, only the non-maintained places in OptCTUP. ``+inf`` means
+    the bound constrains nothing (an empty cell, or a cell whose places
+    are all individually maintained).
+    """
+
+    lower_bound: float = math.inf
+    illuminated: bool = False
+    #: number of places stored in this cell (set at initialisation; the
+    #: set of places is static, so this never changes afterwards).
+    place_count: int = 0
+    #: how many times this cell was illuminated / accessed — the cost
+    #: counter behind Fig. 9's "cell access" series.
+    access_count: int = field(default=0, repr=False)
+
+    def decrease(self, amount: float = 1.0) -> None:
+        """Lower the bound by ``amount`` (a unit may have stopped protecting)."""
+        self.lower_bound -= amount
+
+    def increase(self, amount: float = 1.0) -> None:
+        """Raise the bound by ``amount`` (a unit now protects the whole cell)."""
+        self.lower_bound += amount

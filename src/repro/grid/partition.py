@@ -1,0 +1,122 @@
+"""The uniform grid partition of the monitored space."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.geometry import Circle, Point, Rect
+
+# A cell is addressed by its (column, row) pair.
+CellId = tuple[int, int]
+
+
+class GridPartition:
+    """A uniform ``nx x ny`` partition of a rectangular space.
+
+    Every point of the space belongs to exactly one cell: cell ``(i, j)``
+    owns the half-open square ``[xmin + i*w, xmin + (i+1)*w) x [...]``,
+    except that points on the space's upper/right boundary are clamped
+    into the last row/column so the partition covers the closed space.
+
+    The *granularity* parameter of the paper's Table III corresponds to
+    ``nx == ny``.
+    """
+
+    def __init__(self, space: Rect, nx: int, ny: int) -> None:
+        if nx <= 0 or ny <= 0:
+            raise ValueError(f"grid must have positive dimensions, got {nx}x{ny}")
+        if space.width <= 0 or space.height <= 0:
+            raise ValueError("space must have positive area")
+        self.space = space
+        self.nx = nx
+        self.ny = ny
+        self.cell_width = space.width / nx
+        self.cell_height = space.height / ny
+
+    @classmethod
+    def unit_square(cls, granularity: int) -> "GridPartition":
+        """The paper's default setting: the unit square, ``g x g`` cells."""
+        return cls(Rect(0.0, 0.0, 1.0, 1.0), granularity, granularity)
+
+    @property
+    def cell_count(self) -> int:
+        return self.nx * self.ny
+
+    def cell_of(self, p: Point) -> CellId:
+        """The cell owning point ``p``.
+
+        Raises :class:`ValueError` for points outside the space — places
+        and units are required to live inside the monitored space.
+        """
+        if not self.space.contains_point(p):
+            raise ValueError(f"point {p} outside the monitored space {self.space}")
+        i = int((p.x - self.space.xmin) / self.cell_width)
+        j = int((p.y - self.space.ymin) / self.cell_height)
+        # Points on the max boundary index one past the end; clamp them in.
+        i = min(i, self.nx - 1)
+        j = min(j, self.ny - 1)
+        return (i, j)
+
+    def cell_rect(self, cell: CellId) -> Rect:
+        """The closed rectangle of ``cell``."""
+        i, j = cell
+        self._check_cell(cell)
+        x0 = self.space.xmin + i * self.cell_width
+        y0 = self.space.ymin + j * self.cell_height
+        return Rect(x0, y0, x0 + self.cell_width, y0 + self.cell_height)
+
+    def all_cells(self) -> Iterator[CellId]:
+        """All cell ids, column-major."""
+        for i in range(self.nx):
+            for j in range(self.ny):
+                yield (i, j)
+
+    def cells_overlapping_rect(self, rect: Rect) -> Iterator[CellId]:
+        """Cells whose rectangle intersects ``rect`` (clipped to the space)."""
+        if not self.space.intersects(rect):
+            return
+        i_lo = int(math.floor((rect.xmin - self.space.xmin) / self.cell_width))
+        i_hi = int(math.floor((rect.xmax - self.space.xmin) / self.cell_width))
+        j_lo = int(math.floor((rect.ymin - self.space.ymin) / self.cell_height))
+        j_hi = int(math.floor((rect.ymax - self.space.ymin) / self.cell_height))
+        i_lo = max(i_lo, 0)
+        j_lo = max(j_lo, 0)
+        i_hi = min(i_hi, self.nx - 1)
+        j_hi = min(j_hi, self.ny - 1)
+        for i in range(i_lo, i_hi + 1):
+            for j in range(j_lo, j_hi + 1):
+                yield (i, j)
+
+    def cells_touching_circle(self, circle: Circle) -> Iterator[CellId]:
+        """Cells whose rectangle intersects the (closed) disk.
+
+        This is the candidate set for lower-bound maintenance: a cell not
+        touching the old nor the new disk keeps the N relation on both
+        sides and its bound is unchanged (the ``N -> N`` entry of the
+        tables).
+        """
+        for cell in self.cells_overlapping_rect(circle.bounding_rect()):
+            if circle.intersects_rect(self.cell_rect(cell)):
+                yield cell
+
+    def linear(self, cell: CellId) -> int:
+        """A dense integer encoding of ``cell`` (row-major).
+
+        The maintained-place table stores cell ownership as this integer
+        so per-cell row selection is a vectorised comparison.
+        """
+        self._check_cell(cell)
+        i, j = cell
+        return i * self.ny + j
+
+    def from_linear(self, index: int) -> CellId:
+        """Inverse of :meth:`linear`."""
+        if not (0 <= index < self.cell_count):
+            raise ValueError(f"linear index {index} outside grid")
+        return (index // self.ny, index % self.ny)
+
+    def _check_cell(self, cell: CellId) -> None:
+        i, j = cell
+        if not (0 <= i < self.nx and 0 <= j < self.ny):
+            raise ValueError(f"cell {cell} outside grid {self.nx}x{self.ny}")

@@ -1,0 +1,227 @@
+"""An STR bulk-loaded R-tree over places.
+
+Sort-Tile-Recursive packing (Leutenegger et al.) builds a static,
+well-filled R-tree in two sorts — ideal for the CTUP setting where the
+place set never changes during monitoring. Each node carries, besides
+its MBR, the maximum required protection of its subtree; the snapshot
+top-k algorithm uses it to lower-bound safeties per subtree.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.geometry import Point, Rect
+from repro.geometry.distance import point_rect_distance
+from repro.model import Place
+
+DEFAULT_FANOUT = 16
+
+
+@dataclass
+class RTreeNode:
+    """One R-tree node (leaf holds places, internal holds children)."""
+
+    mbr: Rect
+    #: maximum required protection in this subtree — the aggregate that
+    #: turns the tree into a safety-bounding index.
+    max_required: int
+    places: tuple[Place, ...] = ()
+    children: tuple["RTreeNode", ...] = ()
+    #: number of places in the subtree.
+    count: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def _mbr_of_points(points: Sequence[Point]) -> Rect:
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    return Rect(min(xs), min(ys), max(xs), max(ys))
+
+
+def _mbr_union(rects: Sequence[Rect]) -> Rect:
+    return Rect(
+        min(r.xmin for r in rects),
+        min(r.ymin for r in rects),
+        max(r.xmax for r in rects),
+        max(r.ymax for r in rects),
+    )
+
+
+class RTree:
+    """A static R-tree over a place set, STR bulk-loaded."""
+
+    def __init__(self, places: Sequence[Place], fanout: int = DEFAULT_FANOUT):
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        places = list(places)
+        if not places:
+            raise ValueError("cannot index an empty place set")
+        self.fanout = fanout
+        self._size = len(places)
+        self.root = self._bulk_load(places)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaf (a lone leaf has height 1)."""
+        height = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    # -- construction ----------------------------------------------------
+
+    def _bulk_load(self, places: list[Place]) -> RTreeNode:
+        leaves = self._pack_leaves(places)
+        level = leaves
+        while len(level) > 1:
+            level = self._pack_internal(level)
+        return level[0]
+
+    def _pack_leaves(self, places: list[Place]) -> list[RTreeNode]:
+        """Sort-Tile-Recursive packing of the leaf level."""
+        n = len(places)
+        leaf_count = math.ceil(n / self.fanout)
+        slices = math.ceil(math.sqrt(leaf_count))
+        by_x = sorted(places, key=lambda p: (p.location.x, p.location.y))
+        slice_size = slices * self.fanout
+        leaves = []
+        for start in range(0, n, slice_size):
+            strip = sorted(
+                by_x[start : start + slice_size],
+                key=lambda p: (p.location.y, p.location.x),
+            )
+            for leaf_start in range(0, len(strip), self.fanout):
+                group = strip[leaf_start : leaf_start + self.fanout]
+                leaves.append(
+                    RTreeNode(
+                        mbr=_mbr_of_points([p.location for p in group]),
+                        max_required=max(p.required_protection for p in group),
+                        places=tuple(group),
+                        count=len(group),
+                    )
+                )
+        return leaves
+
+    def _pack_internal(self, nodes: list[RTreeNode]) -> list[RTreeNode]:
+        """Pack one level of internal nodes over ``nodes`` (STR again)."""
+        n = len(nodes)
+        parent_count = math.ceil(n / self.fanout)
+        slices = math.ceil(math.sqrt(parent_count))
+        by_x = sorted(nodes, key=lambda nd: nd.mbr.center().x)
+        slice_size = slices * self.fanout
+        parents = []
+        for start in range(0, n, slice_size):
+            strip = sorted(
+                by_x[start : start + slice_size],
+                key=lambda nd: nd.mbr.center().y,
+            )
+            for group_start in range(0, len(strip), self.fanout):
+                group = strip[group_start : group_start + self.fanout]
+                parents.append(
+                    RTreeNode(
+                        mbr=_mbr_union([child.mbr for child in group]),
+                        max_required=max(c.max_required for c in group),
+                        children=tuple(group),
+                        count=sum(c.count for c in group),
+                    )
+                )
+        return parents
+
+    # -- queries ------------------------------------------------------------
+
+    def range_query(self, window: Rect) -> list[Place]:
+        """All places inside the (closed) query window."""
+        result: list[Place] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.mbr.intersects(window):
+                continue
+            if node.is_leaf:
+                result.extend(
+                    p for p in node.places if window.contains_point(p.location)
+                )
+            else:
+                stack.extend(node.children)
+        return result
+
+    def circle_query(self, center: Point, radius: float) -> list[Place]:
+        """All places within ``radius`` of ``center`` (closed disk).
+
+        This is exactly "which places does a unit at ``center`` protect".
+        """
+        r2 = radius * radius
+        result: list[Place] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if point_rect_distance(center, node.mbr) > radius:
+                continue
+            if node.is_leaf:
+                result.extend(
+                    p
+                    for p in node.places
+                    if center.squared_distance_to(p.location) <= r2
+                )
+            else:
+                stack.extend(node.children)
+        return result
+
+    def nearest(self, query: Point, k: int = 1) -> list[Place]:
+        """The k places nearest to ``query`` (best-first search)."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        counter = 0
+        heap: list[tuple[float, int, object]] = [(0.0, counter, self.root)]
+        result: list[Place] = []
+        while heap and len(result) < k:
+            distance, _, item = heapq.heappop(heap)
+            if isinstance(item, Place):
+                result.append(item)
+                continue
+            node = item
+            if node.is_leaf:
+                for place in node.places:
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (query.distance_to(place.location), counter, place),
+                    )
+            else:
+                for child in node.children:
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (point_rect_distance(query, child.mbr), counter, child),
+                    )
+        return result
+
+    def iter_places(self) -> Iterator[Place]:
+        """Every indexed place (arbitrary order)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.places
+            else:
+                stack.extend(node.children)
+
+    def iter_nodes(self) -> Iterator[RTreeNode]:
+        """Every node, root first (diagnostics and invariants testing)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)

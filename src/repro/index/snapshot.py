@@ -1,0 +1,113 @@
+"""Snapshot top-k unsafe places via best-first R-tree descent.
+
+Given the current unit positions, the safety of any place inside an
+R-tree node's MBR is at least
+
+    AP_lower(MBR) - max_required(subtree)
+
+where ``AP_lower`` counts the units whose protection disk fully contains
+the MBR (those protect *every* point of it). Descending nodes in
+increasing bound order and stopping once the best remaining bound cannot
+beat the current k-th candidate gives the exact snapshot answer while
+touching only the unsafe corner of the tree — the R-tree analogue of the
+grid schemes' dark-cell pruning, and the natural "refill" query for a
+cold-started server.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.units import UnitIndex
+from repro.geometry.distance import point_rect_max_distance
+from repro.index.rtree import RTree, RTreeNode
+from repro.model import SafetyRecord
+
+
+@dataclass
+class SnapshotTopK:
+    """The snapshot answer plus the work it took."""
+
+    records: list[SafetyRecord]
+    nodes_visited: int = 0
+    places_evaluated: int = 0
+    nodes_pruned: int = 0
+
+    @property
+    def sk(self) -> float:
+        if not self.records:
+            return math.inf
+        return self.records[-1].safety
+
+
+def _ap_lower_bound(units: UnitIndex, node: RTreeNode) -> int:
+    """Units guaranteed to protect every point of the node's MBR."""
+    radius = units.protection_range
+    return sum(
+        1
+        for unit in units
+        if point_rect_max_distance(unit.location, node.mbr) <= radius
+    )
+
+
+def snapshot_top_k_unsafe(
+    tree: RTree, units: UnitIndex, k: int
+) -> SnapshotTopK:
+    """The exact k least safe places under the current unit positions."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    counter = 0
+    root_bound = _ap_lower_bound(units, tree.root) - tree.root.max_required
+    heap: list[tuple[float, int, RTreeNode]] = [(root_bound, counter, tree.root)]
+    # current candidates as (safety, place_id, record), kept as a max-heap
+    # of size <= k via negation.
+    candidates: list[tuple[float, int, SafetyRecord]] = []
+    result = SnapshotTopK(records=[])
+
+    def kth() -> float:
+        if len(candidates) < k:
+            return math.inf
+        return -candidates[0][0]
+
+    while heap:
+        bound, _, node = heapq.heappop(heap)
+        if bound > kth() or (bound == kth() and len(candidates) >= k):
+            # nothing below this bound can improve the answer; since the
+            # heap is ordered by bound, everything else prunes too.
+            result.nodes_pruned += 1 + len(heap)
+            break
+        result.nodes_visited += 1
+        if node.is_leaf:
+            xs = np.array([p.location.x for p in node.places])
+            ys = np.array([p.location.y for p in node.places])
+            ap = units.ap_counts(xs, ys)
+            result.places_evaluated += len(node.places)
+            for place, protection in zip(node.places, ap):
+                safety = float(protection - place.required_protection)
+                entry = (
+                    -safety,
+                    -place.place_id,
+                    SafetyRecord(place, safety),
+                )
+                if len(candidates) < k:
+                    heapq.heappush(candidates, entry)
+                elif entry > candidates[0]:
+                    heapq.heapreplace(candidates, entry)
+        else:
+            for child in node.children:
+                counter += 1
+                child_bound = (
+                    _ap_lower_bound(units, child) - child.max_required
+                )
+                heapq.heappush(heap, (child_bound, counter, child))
+
+    ranked = sorted(
+        (record for _, _, record in candidates),
+        key=lambda r: (r.safety, r.place_id),
+    )
+    result.records = ranked
+    return result

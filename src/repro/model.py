@@ -1,0 +1,102 @@
+"""The CTUP data model (§II of the paper).
+
+Three record types flow through the whole system:
+
+* :class:`Place` — a static protected site with a required protection;
+* :class:`Unit` — a moving protecting unit with a circular protection
+  region of radius ``R``;
+* :class:`LocationUpdate` — one message of the update stream, carrying a
+  unit id with its old and new locations.
+
+The module sits at the bottom of the dependency graph: both the storage
+substrate and the monitors import it, and it imports only the geometry
+kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Circle, Point
+
+
+@dataclass(frozen=True, slots=True)
+class Place:
+    """A protected place, modelled as a point (paper §II-B).
+
+    ``required_protection`` is ``RP(p)``: how many units must be within
+    the protection range for the place to be considered safe. The place
+    set is static during monitoring; only safeties change.
+    """
+
+    place_id: int
+    location: Point
+    required_protection: int
+    #: free-form label ("bank", "residence", ...) used by examples only.
+    kind: str = "place"
+
+    def __post_init__(self) -> None:
+        if self.required_protection < 0:
+            raise ValueError(
+                f"place {self.place_id}: required protection must be >= 0"
+            )
+
+
+@dataclass(slots=True)
+class Unit:
+    """A protecting unit (police car) with its current location."""
+
+    unit_id: int
+    location: Point
+    protection_range: float
+
+    def __post_init__(self) -> None:
+        if self.protection_range <= 0:
+            raise ValueError(
+                f"unit {self.unit_id}: protection range must be positive"
+            )
+
+    def protection_region(self) -> Circle:
+        """The closed disk of places this unit currently protects."""
+        return Circle(self.location, self.protection_range)
+
+    def protects(self, place: Place) -> bool:
+        """Definition 1: whether ``place`` is inside the protection region."""
+        return self.protection_region().contains_point(place.location)
+
+
+@dataclass(frozen=True, slots=True)
+class LocationUpdate:
+    """One location-update message received by the server.
+
+    ``old_location`` is the unit's most recently reported position, as
+    tracked by the server; ``new_location`` is the fresh report. The
+    monitors consume these rather than raw positions so that the
+    Table I/II before/after classification is explicit.
+    """
+
+    unit_id: int
+    old_location: Point
+    new_location: Point
+    #: stream timestamp (simulation ticks); informational.
+    timestamp: float = 0.0
+
+    def displacement(self) -> float:
+        """How far the unit moved, in space units."""
+        return self.old_location.distance_to(self.new_location)
+
+
+@dataclass(slots=True)
+class SafetyRecord:
+    """A place together with its currently known safety.
+
+    The monitors expose their result as a list of these, sorted from the
+    least safe place upward.
+    """
+
+    place: Place
+    safety: float
+
+    @property
+    def place_id(self) -> int:
+        return self.place.place_id

@@ -1,0 +1,19 @@
+"""Monitor state checkpointing.
+
+A monitoring server restarts — deploys, crashes, failovers — and the
+paper's initialization is the expensive step it should not repeat: it
+touches every place. A checkpoint captures everything the update
+algorithm needs (unit positions, cell bounds, the maintained band,
+DecHash) in a plain-JSON document; restoring rebuilds an OptCTUP that
+continues exactly where the original left off, provided the same place
+set is supplied (places are static and typically live in the lower
+storage level already).
+"""
+
+from repro.persist.checkpoint import (
+    CheckpointError,
+    restore_optctup,
+    snapshot_optctup,
+)
+
+__all__ = ["CheckpointError", "snapshot_optctup", "restore_optctup"]

@@ -1,0 +1,142 @@
+"""Serialize / restore OptCTUP monitoring state.
+
+The checkpoint format is versioned JSON. It deliberately stores only the
+*dynamic* state — unit positions, per-cell bounds, the maintained band's
+(place id, safety, cell) rows, DecHash pairs — and identifies the place
+set by a content fingerprint instead of embedding it: the place set is
+static input, and restoring against a different one must fail loudly
+rather than resume with silently wrong safeties.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Sequence
+
+from repro.core.config import CTUPConfig
+from repro.core.opt import OptCTUP
+from repro.geometry import Point
+from repro.model import Place, Unit
+
+FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint cannot be applied to the supplied inputs."""
+
+
+def _fingerprint_places(places: Sequence[Place]) -> str:
+    """A content hash of the (static) place set."""
+    digest = hashlib.sha256()
+    for place in sorted(places, key=lambda p: p.place_id):
+        digest.update(
+            f"{place.place_id}:{place.location.x!r}:{place.location.y!r}"
+            f":{place.required_protection}\n".encode()
+        )
+    return digest.hexdigest()
+
+
+def _encode_bound(value: float) -> float | str:
+    return "inf" if math.isinf(value) else value
+
+
+def _decode_bound(value: float | str) -> float:
+    return math.inf if value == "inf" else float(value)
+
+
+def snapshot_optctup(monitor: OptCTUP) -> str:
+    """Capture a running OptCTUP's dynamic state as a JSON document."""
+    if not monitor._initialized:
+        raise CheckpointError("cannot checkpoint an uninitialized monitor")
+    config = monitor.config
+    document = {
+        "version": FORMAT_VERSION,
+        "config": {
+            "k": config.k,
+            "delta": config.delta,
+            "protection_range": config.protection_range,
+            "granularity": config.granularity,
+            "use_doo": config.use_doo,
+        },
+        "places_fingerprint": _fingerprint_places(
+            list(monitor.store.iter_all_places())
+        ),
+        "units": [
+            [u.unit_id, u.location.x, u.location.y] for u in monitor.units
+        ],
+        "cells": [
+            [cell[0], cell[1], _encode_bound(state.lower_bound)]
+            for cell, state in monitor.cell_states.items()
+        ],
+        "maintained": [
+            [pid, safety]
+            for pid, safety in monitor.maintained.safeties_snapshot().items()
+        ],
+        "dechash": [
+            [unit_id, cell[0], cell[1]]
+            for cell in monitor.cell_states
+            for unit_id in monitor.dechash.pairs_of_cell(cell)
+        ],
+    }
+    return json.dumps(document)
+
+
+def restore_optctup(
+    document: str,
+    places: Sequence[Place],
+) -> OptCTUP:
+    """Rebuild an OptCTUP from a checkpoint and the original place set.
+
+    The restored monitor is ready for ``process()`` immediately — no
+    initialization pass runs.
+    """
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as error:
+        raise CheckpointError(f"not a checkpoint document: {error}") from None
+    if data.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {data.get('version')!r}"
+        )
+    if data["places_fingerprint"] != _fingerprint_places(places):
+        raise CheckpointError(
+            "checkpoint was taken against a different place set"
+        )
+    config = CTUPConfig(
+        k=data["config"]["k"],
+        delta=data["config"]["delta"],
+        protection_range=data["config"]["protection_range"],
+        granularity=data["config"]["granularity"],
+        use_doo=data["config"]["use_doo"],
+    )
+    units = [
+        Unit(uid, Point(x, y), config.protection_range)
+        for uid, x, y in data["units"]
+    ]
+    monitor = OptCTUP(config, places, units)
+
+    place_by_id = {p.place_id: p for p in places}
+    # cell bounds: initialize() normally populates these; install them
+    # directly. Cells absent from the checkpoint hold no places.
+    from repro.grid.cellstate import CellState
+
+    for i, j, bound in data["cells"]:
+        cell = (int(i), int(j))
+        monitor.cell_states[cell] = CellState(
+            lower_bound=_decode_bound(bound),
+            place_count=monitor.store.cell_place_count(cell),
+        )
+    for pid, safety in data["maintained"]:
+        place = place_by_id.get(int(pid))
+        if place is None:
+            raise CheckpointError(f"maintained place {pid} not in place set")
+        cell = monitor.grid.cell_of(place.location)
+        monitor.maintained.insert(
+            place, float(safety), monitor.grid.linear(cell)
+        )
+    for unit_id, i, j in data["dechash"]:
+        monitor.dechash.insert(int(unit_id), (int(i), int(j)))
+    monitor._initialized = True
+    return monitor

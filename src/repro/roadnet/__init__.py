@@ -1,0 +1,36 @@
+"""Network-based moving objects (the paper's workload substrate).
+
+The paper generates its protecting units with the Brinkhoff network-based
+generator of moving objects [3] over the Oldenburg road map. That map is
+not redistributable here, so this package builds the same *kind* of
+workload from first principles:
+
+* :mod:`repro.roadnet.network` — a road network with per-edge lengths and
+  speed classes;
+* :mod:`repro.roadnet.generators` — synthetic city topologies (Manhattan
+  grid with arterials, radial ring-and-spoke, random planar);
+* :mod:`repro.roadnet.moving` — objects that pick destinations, follow
+  shortest (travel-time) routes at edge-class speeds, and report their
+  location once they have moved far enough, exactly the observable
+  behaviour the CTUP monitors consume.
+"""
+
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.generators import (
+    grid_network,
+    radial_network,
+    random_network,
+)
+from repro.roadnet.moving import NetworkMobility, RoadObject
+from repro.roadnet.patrol import DirectedPatrolMobility, coverage_of_hotspots
+
+__all__ = [
+    "RoadNetwork",
+    "grid_network",
+    "radial_network",
+    "random_network",
+    "NetworkMobility",
+    "RoadObject",
+    "DirectedPatrolMobility",
+    "coverage_of_hotspots",
+]

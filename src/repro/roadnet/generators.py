@@ -1,0 +1,168 @@
+"""Synthetic city topologies.
+
+Three families cover the structure found in real road maps like
+Oldenburg: a perturbed Manhattan grid with faster arterials, a radial
+ring-and-spoke (old-town) layout, and a random planar-ish network built
+from nearest-neighbour links stitched connected with a spanning tree.
+All generators are deterministic in their seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+
+import networkx as nx
+
+from repro.geometry import Point, Rect
+from repro.roadnet.network import RoadNetwork
+
+
+def grid_network(
+    rows: int = 12,
+    cols: int = 12,
+    seed: int = 0,
+    perturbation: float = 0.15,
+    arterial_every: int = 4,
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+) -> RoadNetwork:
+    """A perturbed Manhattan grid.
+
+    Every ``arterial_every``-th row/column is an arterial (road class 1);
+    the central cross is a highway (class 2). ``perturbation`` jitters
+    nodes by that fraction of the street spacing so the grid does not
+    align degenerately with the monitor's partition.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid needs at least 2x2 intersections")
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    dx = 1.0 / (cols - 1)
+    dy = 1.0 / (rows - 1)
+
+    def node_id(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            jitter_x = rng.uniform(-perturbation, perturbation) * dx
+            jitter_y = rng.uniform(-perturbation, perturbation) * dy
+            # keep boundary nodes on the boundary so the extent is stable.
+            x = min(max(c * dx + (jitter_x if 0 < c < cols - 1 else 0.0), 0.0), 1.0)
+            y = min(max(r * dy + (jitter_y if 0 < r < rows - 1 else 0.0), 0.0), 1.0)
+            graph.add_node(node_id(r, c), point=Point(x, y))
+
+    def class_of(r: int, c: int, horizontal: bool) -> int:
+        if horizontal:
+            if r == rows // 2:
+                return 2
+            return 1 if r % arterial_every == 0 else 0
+        if c == cols // 2:
+            return 2
+        return 1 if c % arterial_every == 0 else 0
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge(
+                    node_id(r, c),
+                    node_id(r, c + 1),
+                    road_class=class_of(r, c, horizontal=True),
+                )
+            if r + 1 < rows:
+                graph.add_edge(
+                    node_id(r, c),
+                    node_id(r + 1, c),
+                    road_class=class_of(r, c, horizontal=False),
+                )
+    return RoadNetwork(graph).normalized_to(space)
+
+
+def radial_network(
+    rings: int = 4,
+    spokes: int = 10,
+    seed: int = 0,
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+) -> RoadNetwork:
+    """A ring-and-spoke old-town layout.
+
+    Spokes are arterials (class 1), the outermost ring is a beltway
+    (class 2), inner rings are residential (class 0).
+    """
+    if rings < 1 or spokes < 3:
+        raise ValueError("need at least 1 ring and 3 spokes")
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    center = 0
+    graph.add_node(center, point=Point(0.5, 0.5))
+    for ring, spoke in itertools.product(range(1, rings + 1), range(spokes)):
+        radius = 0.5 * ring / rings
+        angle = 2 * math.pi * (spoke + rng.uniform(-0.1, 0.1)) / spokes
+        graph.add_node(
+            (ring, spoke),
+            point=Point(0.5 + radius * math.cos(angle), 0.5 + radius * math.sin(angle)),
+        )
+    for spoke in range(spokes):
+        graph.add_edge(center, (1, spoke), road_class=1)
+        for ring in range(1, rings):
+            graph.add_edge((ring, spoke), (ring + 1, spoke), road_class=1)
+    for ring in range(1, rings + 1):
+        ring_class = 2 if ring == rings else 0
+        for spoke in range(spokes):
+            graph.add_edge(
+                (ring, spoke),
+                (ring, (spoke + 1) % spokes),
+                road_class=ring_class,
+            )
+    return RoadNetwork(graph).normalized_to(space)
+
+
+def random_network(
+    nodes: int = 120,
+    neighbours: int = 3,
+    seed: int = 0,
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+) -> RoadNetwork:
+    """A random planar-ish network.
+
+    Uniform random intersections, each linked to its ``neighbours``
+    nearest peers; a minimum spanning tree over all pairwise distances is
+    merged in to guarantee connectivity. The longest links are promoted
+    to arterials, which gives fast cross-town routes like a real map.
+    """
+    if nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = random.Random(seed)
+    points = [
+        Point(rng.random(), rng.random()) for _ in range(nodes)
+    ]
+    graph = nx.Graph()
+    for i, p in enumerate(points):
+        graph.add_node(i, point=p)
+    # k-nearest-neighbour links
+    for i, p in enumerate(points):
+        ranked = sorted(
+            (j for j in range(nodes) if j != i),
+            key=lambda j: p.squared_distance_to(points[j]),
+        )
+        for j in ranked[:neighbours]:
+            graph.add_edge(i, j, road_class=0)
+    # stitch components together with a euclidean MST
+    complete = nx.Graph()
+    complete.add_nodes_from(range(nodes))
+    for i in range(nodes):
+        for j in range(i + 1, nodes):
+            complete.add_edge(i, j, weight=points[i].distance_to(points[j]))
+    for a, b in nx.minimum_spanning_edges(complete, data=False):
+        if not graph.has_edge(a, b):
+            graph.add_edge(a, b, road_class=0)
+    # promote the longest fifth of edges to arterials
+    lengths = sorted(
+        graph.edges,
+        key=lambda e: points[e[0]].distance_to(points[e[1]]),
+        reverse=True,
+    )
+    for a, b in lengths[: max(1, len(lengths) // 5)]:
+        graph.edges[a, b]["road_class"] = 1
+    return RoadNetwork(graph).normalized_to(space)

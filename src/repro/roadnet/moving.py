@@ -1,0 +1,181 @@
+"""Brinkhoff-style moving objects on a road network.
+
+Each object starts at a network node, draws a random destination, routes
+to it along the fastest path, and advances every simulation tick at the
+speed of the edge it is on. When it has moved at least
+``report_distance`` from its last *reported* position it sends a
+location update — the distance-threshold reporting policy of §II-A
+("e.g. one meter away from the location reported previously").
+Arriving objects immediately draw a new destination, so the fleet keeps
+patrolling forever.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.geometry import Point
+from repro.model import LocationUpdate, Unit
+from repro.roadnet.network import RoadNetwork
+
+
+@dataclass
+class RoadObject:
+    """One moving object and its route state."""
+
+    unit_id: int
+    node: object  # node the object last passed
+    path: list  # remaining nodes to visit (path[0] == next node)
+    offset: float  # distance already covered on the current edge
+    position: Point
+    reported: Point  # last position sent to the server
+
+    def current_edge(self) -> tuple | None:
+        if not self.path:
+            return None
+        return (self.node, self.path[0])
+
+
+class NetworkMobility:
+    """The network-based mobility model (implements ``Mobility``).
+
+    Parameters
+    ----------
+    network:
+        the road map objects move on.
+    count:
+        fleet size (|U| of Table III).
+    speed:
+        base distance covered per tick on a class-0 road.
+    report_distance:
+        minimum displacement between two reports of the same object.
+    seed:
+        drives initial placement, destination choice and everything else.
+    """
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        count: int,
+        speed: float = 0.01,
+        report_distance: float = 0.005,
+        seed: int = 0,
+    ) -> None:
+        if count <= 0:
+            raise ValueError("need at least one moving object")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        if report_distance < 0:
+            raise ValueError("report distance cannot be negative")
+        self.network = network
+        self._speed = speed
+        self._report_distance = report_distance
+        self._rng = random.Random(seed)
+        self._time = 0.0
+        self.objects: list[RoadObject] = []
+        for unit_id in range(count):
+            node = network.random_node(self._rng)
+            position = network.node_point(node)
+            obj = RoadObject(
+                unit_id=unit_id,
+                node=node,
+                path=[],
+                offset=0.0,
+                position=position,
+                reported=position,
+            )
+            self._assign_destination(obj)
+            self.objects.append(obj)
+
+    # -- fleet construction ------------------------------------------------
+
+    def initial_units(self, protection_range: float) -> list[Unit]:
+        """The fleet as :class:`Unit` records at their starting positions."""
+        return [
+            Unit(
+                unit_id=obj.unit_id,
+                location=obj.reported,
+                protection_range=protection_range,
+            )
+            for obj in self.objects
+        ]
+
+    # -- simulation ----------------------------------------------------------
+
+    def updates(self, count: int) -> Iterator[LocationUpdate]:
+        """Yield the next ``count`` location updates (ticking as needed)."""
+        produced = 0
+        while produced < count:
+            for update in self._tick():
+                yield update
+                produced += 1
+                if produced >= count:
+                    return
+
+    def _tick(self) -> list[LocationUpdate]:
+        """Advance every object by one time unit; collect reports."""
+        self._time += 1.0
+        reports = []
+        for obj in self.objects:
+            self._advance(obj, self._speed)
+            if (
+                obj.position.distance_to(obj.reported)
+                >= self._report_distance
+            ):
+                update = LocationUpdate(
+                    unit_id=obj.unit_id,
+                    old_location=obj.reported,
+                    new_location=obj.position,
+                    timestamp=self._time,
+                )
+                obj.reported = obj.position
+                reports.append(update)
+        return reports
+
+    def _advance(self, obj: RoadObject, base_distance: float) -> None:
+        """Move one object along its route by a tick's worth of travel."""
+        budget = base_distance
+        while budget > 0:
+            edge = obj.current_edge()
+            if edge is None:
+                self._assign_destination(obj)
+                edge = obj.current_edge()
+                if edge is None:  # isolated single-node network
+                    return
+            a, b = edge
+            length = self.network.edge_length(a, b)
+            speed_factor = self.network.edge_speed(a, b)
+            remaining = length - obj.offset
+            step = budget * speed_factor
+            if step < remaining or length == 0:
+                obj.offset += step
+                obj.position = self._interpolate(a, b, obj.offset, length)
+                return
+            # consume the rest of this edge and carry on from node b.
+            budget -= remaining / speed_factor
+            obj.node = b
+            obj.path.pop(0)
+            obj.offset = 0.0
+            obj.position = self.network.node_point(b)
+
+    def _interpolate(self, a, b, offset: float, length: float) -> Point:
+        pa = self.network.node_point(a)
+        pb = self.network.node_point(b)
+        if length <= 0:
+            return pb
+        t = min(offset / length, 1.0)
+        return Point(pa.x + (pb.x - pa.x) * t, pa.y + (pb.y - pa.y) * t)
+
+    def _assign_destination(self, obj: RoadObject) -> None:
+        """Draw a fresh destination and route to it."""
+        for _ in range(8):
+            destination = self.network.random_node(self._rng)
+            if destination != obj.node:
+                break
+        else:
+            return
+        path = self.network.shortest_path(obj.node, destination)
+        obj.path = path[1:]
+        obj.offset = 0.0

@@ -1,0 +1,127 @@
+"""Road networks.
+
+A :class:`RoadNetwork` is an undirected graph whose nodes carry plane
+coordinates and whose edges carry a length and a *speed class* (0 =
+slowest residential street; higher classes are faster arterials), in the
+spirit of the Brinkhoff generator's road classes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.geometry import Point, Rect
+
+#: relative speed of each road class; class 0 is the reference.
+SPEED_OF_CLASS: tuple[float, ...] = (1.0, 2.0, 3.0)
+
+
+class RoadNetwork:
+    """An undirected road graph embedded in the plane."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("road network must have at least one node")
+        if not nx.is_connected(graph):
+            raise ValueError("road network must be connected")
+        for node, data in graph.nodes(data=True):
+            if "point" not in data:
+                raise ValueError(f"node {node} has no 'point' attribute")
+        self.graph = graph
+        for a, b, data in graph.edges(data=True):
+            length = self.node_point(a).distance_to(self.node_point(b))
+            data["length"] = length
+            road_class = data.get("road_class", 0)
+            if not (0 <= road_class < len(SPEED_OF_CLASS)):
+                raise ValueError(f"edge ({a},{b}): bad road class {road_class}")
+            data["road_class"] = road_class
+            # travel time drives route choice: fast roads attract routes.
+            data["travel_time"] = (
+                length / SPEED_OF_CLASS[road_class] if length > 0 else 0.0
+            )
+        self._nodes: Sequence = list(graph.nodes)
+
+    @property
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        return self.graph.number_of_edges()
+
+    def node_point(self, node) -> Point:
+        """The plane location of a node."""
+        return self.graph.nodes[node]["point"]
+
+    def edge_length(self, a, b) -> float:
+        return self.graph.edges[a, b]["length"]
+
+    def edge_speed(self, a, b) -> float:
+        """Movement speed on the edge (space units per time unit)."""
+        return SPEED_OF_CLASS[self.graph.edges[a, b]["road_class"]]
+
+    def random_node(self, rng: random.Random):
+        """A node chosen uniformly at random."""
+        return self._nodes[rng.randrange(len(self._nodes))]
+
+    def nearest_node(self, point: Point):
+        """The network node closest to an arbitrary plane point.
+
+        Used by directed patrols to turn "head towards that bank" into a
+        routable destination. Linear scan — road networks here have
+        hundreds of nodes, and patrol retargeting is infrequent.
+        """
+        return min(
+            self._nodes,
+            key=lambda node: self.node_point(node).squared_distance_to(point),
+        )
+
+    def shortest_path(self, source, target) -> list:
+        """Node sequence of the fastest (travel-time) route."""
+        return nx.shortest_path(
+            self.graph, source, target, weight="travel_time"
+        )
+
+    def bounding_rect(self) -> Rect:
+        """The bounding rectangle of all nodes."""
+        xs = [self.node_point(n).x for n in self._nodes]
+        ys = [self.node_point(n).y for n in self._nodes]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    def normalized_to(self, space: Rect) -> "RoadNetwork":
+        """A copy rescaled so its bounding rect fills ``space``.
+
+        The monitors assume all locations fall inside the configured
+        space; normalising the network guarantees that for any topology.
+        """
+        bounds = self.bounding_rect()
+        width = bounds.width or 1.0
+        height = bounds.height or 1.0
+        graph = nx.Graph()
+        for node, data in self.graph.nodes(data=True):
+            p = data["point"]
+            graph.add_node(
+                node,
+                point=Point(
+                    space.xmin + (p.x - bounds.xmin) / width * space.width,
+                    space.ymin + (p.y - bounds.ymin) / height * space.height,
+                ),
+            )
+        for a, b, data in self.graph.edges(data=True):
+            graph.add_edge(a, b, road_class=data.get("road_class", 0))
+        return RoadNetwork(graph)
+
+
+def network_from_points(
+    points: Iterable[Point], edges: Iterable[tuple[int, int, int]]
+) -> RoadNetwork:
+    """Build a network from point list and ``(a, b, road_class)`` edges."""
+    graph = nx.Graph()
+    for i, p in enumerate(points):
+        graph.add_node(i, point=p)
+    for a, b, road_class in edges:
+        graph.add_edge(a, b, road_class=road_class)
+    return RoadNetwork(graph)

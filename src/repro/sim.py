@@ -1,0 +1,137 @@
+"""A turnkey simulation shell.
+
+Everything an end-to-end run needs — a mobility model generating live
+updates, a monitor consuming them, change tracking, per-update
+timelines, periodic self-audits — wired together behind one loop:
+
+>>> sim = Simulation.from_scenario("downtown", k=10)
+>>> outcome = sim.run(updates=2_000)
+>>> outcome.final_topk[0], outcome.summary.update_ms_p95
+
+The shell exists so examples, notebooks and quick experiments don't
+re-implement the same plumbing; the benchmark harness stays separate
+because measurement wants recorded, replayable streams rather than live
+generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.timeline import Timeline, TimelineSummary
+from repro.core import CTUPConfig, OptCTUP, audit_monitor
+from repro.core.events import ChangeTracker, TopKChange
+from repro.core.monitor import CTUPMonitor
+from repro.model import SafetyRecord
+from repro.workloads import build_scenario
+from repro.workloads.stream import Mobility
+
+
+@dataclass
+class SimulationOutcome:
+    """What a finished run produced."""
+
+    updates: int
+    final_topk: list[SafetyRecord]
+    final_sk: float
+    summary: TimelineSummary
+    changes: list[TopKChange]
+    audit_problems: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.audit_problems
+
+
+class Simulation:
+    """Live mobility + monitor + tracking in one loop."""
+
+    def __init__(
+        self,
+        monitor: CTUPMonitor,
+        mobility: Mobility,
+        audit_every: int = 0,
+    ) -> None:
+        """``audit_every`` > 0 runs the invariant auditor every that
+        many updates (it costs a brute-force pass — useful in soak
+        tests, off by default)."""
+        if audit_every < 0:
+            raise ValueError("audit_every cannot be negative")
+        self.monitor = monitor
+        self.mobility = mobility
+        self.audit_every = audit_every
+        self.timeline = Timeline()
+        self.tracker = ChangeTracker(monitor)
+        self.changes: list[TopKChange] = []
+        self.tracker.subscribe(self.changes.append)
+        self._started = False
+
+    @classmethod
+    def from_scenario(
+        cls,
+        name: str,
+        k: int = 15,
+        delta: int = 4,
+        protection_range: float = 0.1,
+        granularity: int | None = None,
+        n_places: int = 6_000,
+        n_units: int = 60,
+        seed: int = 0,
+        monitor_factory: Callable | None = None,
+        audit_every: int = 0,
+    ) -> "Simulation":
+        """Build a ready-to-run simulation from a named scenario."""
+        from repro.core.tuning import suggest_granularity
+
+        world = build_scenario(
+            name,
+            seed=seed,
+            n_places=n_places,
+            n_units=n_units,
+            protection_range=protection_range,
+            stream_length=0,
+        )
+        config = CTUPConfig(
+            k=k,
+            delta=delta,
+            protection_range=protection_range,
+            granularity=granularity
+            or suggest_granularity(n_places, protection_range),
+        )
+        factory = monitor_factory or OptCTUP
+        monitor = factory(config, world.places, world.units)
+        return cls(monitor, world.mobility, audit_every=audit_every)
+
+    def run(self, updates: int) -> SimulationOutcome:
+        """Generate and process ``updates`` live messages."""
+        if updates <= 0:
+            raise ValueError("updates must be positive")
+        if not self._started:
+            self.tracker.initialize()
+            self._started = True
+        problems: list[str] = []
+        processed = 0
+        for update in self.mobility.updates(updates):
+            report = self.monitor.process(update)
+            self.timeline.sk.append(self.monitor.sk())
+            maintained = getattr(self.monitor, "maintained", None)
+            self.timeline.maintained.append(
+                len(maintained) if maintained is not None else 0
+            )
+            self.timeline.accesses.append(report.cells_accessed)
+            self.timeline.update_seconds.append(
+                report.maintain_seconds + report.access_seconds
+            )
+            self.tracker.observe(update.timestamp)
+            processed += 1
+            if self.audit_every and processed % self.audit_every == 0:
+                problems.extend(audit_monitor(self.monitor))
+        return SimulationOutcome(
+            updates=processed,
+            final_topk=self.monitor.top_k(),
+            final_sk=self.monitor.sk(),
+            summary=self.timeline.summary(),
+            changes=list(self.changes),
+            audit_problems=problems,
+        )

@@ -1,0 +1,37 @@
+"""I/O accounting for the simulated disk level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class IoStats:
+    """Counters for simulated page traffic.
+
+    ``page_reads`` counts physical reads that missed every cache;
+    ``buffered_reads`` counts reads satisfied by a buffer pool;
+    ``page_writes`` counts physical writes (only the initial load writes
+    pages — the set of places is static during monitoring).
+    """
+
+    page_reads: int = 0
+    buffered_reads: int = 0
+    page_writes: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters (called by the bench harness between phases)."""
+        self.page_reads = 0
+        self.buffered_reads = 0
+        self.page_writes = 0
+
+    def snapshot(self) -> "IoStats":
+        """An independent copy of the current counters."""
+        return IoStats(self.page_reads, self.buffered_reads, self.page_writes)
+
+    def __sub__(self, other: "IoStats") -> "IoStats":
+        return IoStats(
+            self.page_reads - other.page_reads,
+            self.buffered_reads - other.buffered_reads,
+            self.page_writes - other.page_writes,
+        )

@@ -1,0 +1,14 @@
+"""Reference oracle for CTUP results.
+
+The oracle recomputes every safety from scratch (through an independent
+unit tracker) and judges whether a monitor's reported top-k is *valid*:
+right size, right SK, right safeties, and containing every place whose
+safety is strictly below SK. Validity rather than set equality is the
+correct criterion because ties at SK make several k-sets equally right —
+although all monitors in this package break ties identically (by place
+id), the oracle does not rely on that.
+"""
+
+from repro.validate.checker import Oracle, TopKValidation
+
+__all__ = ["Oracle", "TopKValidation"]

@@ -1,0 +1,46 @@
+"""Workload generation: places, unit fleets and update streams.
+
+The paper generates protecting units with the Brinkhoff network-based
+moving-object generator over the Oldenburg road map and places uniformly
+at random. This package reproduces the same structure: place sets with
+configurable required-protection skew, unit fleets, and update streams
+produced by pluggable mobility models — a plain random walk (cheap, for
+tests) and the road-network model from :mod:`repro.roadnet` (the
+benchmark workload).
+"""
+
+from repro.workloads.places import (
+    RequiredProtectionModel,
+    generate_places,
+    clustered_points,
+    uniform_points,
+)
+from repro.workloads.units import generate_units
+from repro.workloads.stream import (
+    Mobility,
+    RandomWalkMobility,
+    UpdateStream,
+    record_stream,
+)
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioWorld,
+    build_scenario,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioWorld",
+    "build_scenario",
+    "RequiredProtectionModel",
+    "generate_places",
+    "uniform_points",
+    "clustered_points",
+    "generate_units",
+    "Mobility",
+    "RandomWalkMobility",
+    "UpdateStream",
+    "record_stream",
+]

@@ -1,0 +1,160 @@
+"""Update streams and mobility models.
+
+A *mobility model* owns the fleet's true movement and yields
+:class:`~repro.model.LocationUpdate` messages; an :class:`UpdateStream`
+is a recorded, replayable sequence of them. Recording once and replaying
+into every monitor keeps comparisons exact: all schemes see byte-for-byte
+the same stream.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol, Sequence
+
+from repro.geometry import Point, Rect
+from repro.model import LocationUpdate, Unit
+
+
+class Mobility(Protocol):
+    """Anything that can emit location updates for a fleet."""
+
+    def updates(self, count: int) -> Iterator[LocationUpdate]:
+        """Yield the next ``count`` location updates."""
+        ...  # pragma: no cover - protocol
+
+
+class RandomWalkMobility:
+    """A simple bounded random walk (test workload).
+
+    Each step picks one unit uniformly and displaces it by a gaussian
+    step, reflecting at the space boundary. Cheap and structure-free;
+    the road-network model in :mod:`repro.roadnet` is the realistic one.
+    """
+
+    def __init__(
+        self,
+        units: Sequence[Unit],
+        step: float = 0.02,
+        seed: int = 0,
+        space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+    ) -> None:
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self._positions = {u.unit_id: u.location for u in units}
+        self._step = step
+        self._rng = random.Random(seed)
+        self._space = space
+        self._time = 0.0
+
+    def updates(self, count: int) -> Iterator[LocationUpdate]:
+        ids = sorted(self._positions)
+        for _ in range(count):
+            unit_id = self._rng.choice(ids)
+            old = self._positions[unit_id]
+            new = Point(
+                _reflect(
+                    old.x + self._rng.gauss(0.0, self._step),
+                    self._space.xmin,
+                    self._space.xmax,
+                ),
+                _reflect(
+                    old.y + self._rng.gauss(0.0, self._step),
+                    self._space.ymin,
+                    self._space.ymax,
+                ),
+            )
+            self._positions[unit_id] = new
+            self._time += 1.0
+            yield LocationUpdate(
+                unit_id=unit_id,
+                old_location=old,
+                new_location=new,
+                timestamp=self._time,
+            )
+
+
+def _reflect(value: float, low: float, high: float) -> float:
+    """Reflect ``value`` into ``[low, high]`` (bounded walk)."""
+    if high <= low:
+        raise ValueError("empty interval")
+    span = high - low
+    value = (value - low) % (2 * span)
+    if value > span:
+        value = 2 * span - value
+    return low + value
+
+
+@dataclass(frozen=True)
+class UpdateStream:
+    """An immutable, replayable sequence of location updates."""
+
+    updates: tuple[LocationUpdate, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __iter__(self) -> Iterator[LocationUpdate]:
+        return iter(self.updates)
+
+    def __getitem__(self, index: int) -> LocationUpdate:
+        return self.updates[index]
+
+    def prefix(self, count: int) -> "UpdateStream":
+        """The first ``count`` updates as a new stream."""
+        return UpdateStream(self.updates[:count])
+
+    def to_jsonl(self) -> str:
+        """Serialize (one JSON object per line) for archival/replay."""
+        lines = []
+        for u in self.updates:
+            lines.append(
+                json.dumps(
+                    {
+                        "unit": u.unit_id,
+                        "old": [u.old_location.x, u.old_location.y],
+                        "new": [u.new_location.x, u.new_location.y],
+                        "t": u.timestamp,
+                    }
+                )
+            )
+        return "\n".join(lines)
+
+    def save(self, path) -> None:
+        """Write the stream to a JSONL file."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_jsonl() + ("\n" if len(self) else ""))
+
+    @classmethod
+    def load(cls, path) -> "UpdateStream":
+        """Read a stream previously written with :meth:`save`."""
+        from pathlib import Path
+
+        return cls.from_jsonl(Path(path).read_text())
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "UpdateStream":
+        """Inverse of :meth:`to_jsonl`."""
+        updates = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            updates.append(
+                LocationUpdate(
+                    unit_id=raw["unit"],
+                    old_location=Point(*raw["old"]),
+                    new_location=Point(*raw["new"]),
+                    timestamp=raw["t"],
+                )
+            )
+        return cls(tuple(updates))
+
+
+def record_stream(mobility: Mobility, count: int) -> UpdateStream:
+    """Materialise ``count`` updates from a mobility model."""
+    return UpdateStream(tuple(mobility.updates(count)))

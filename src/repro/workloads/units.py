@@ -1,0 +1,35 @@
+"""Unit-fleet generation."""
+
+from __future__ import annotations
+
+import random
+
+from repro.geometry import Rect
+from repro.model import Unit
+from repro.workloads.places import uniform_points
+
+
+def generate_units(
+    n: int,
+    protection_range: float,
+    seed: int = 0,
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+    id_offset: int = 0,
+) -> list[Unit]:
+    """``n`` units uniformly placed over ``space``.
+
+    This is the fleet's *initial* deployment; movement comes from a
+    mobility model (:mod:`repro.workloads.stream` or
+    :mod:`repro.roadnet`).
+    """
+    if n <= 0:
+        raise ValueError("a fleet needs at least one unit")
+    rng = random.Random(seed)
+    return [
+        Unit(
+            unit_id=id_offset + i,
+            location=point,
+            protection_range=protection_range,
+        )
+        for i, point in enumerate(uniform_points(n, rng, space))
+    ]

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+The "small" workload family keeps unit tests fast (hundreds of places,
+dozens of units, short streams) while the equivalence tests scale up via
+their own parameters. Everything is seeded — a failing test replays
+exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CTUPConfig
+from repro.model import Unit
+from repro.validate import Oracle
+from repro.workloads import (
+    RandomWalkMobility,
+    generate_places,
+    generate_units,
+    record_stream,
+)
+
+
+@pytest.fixture
+def small_config() -> CTUPConfig:
+    return CTUPConfig(k=5, delta=3, protection_range=0.1, granularity=8)
+
+
+@pytest.fixture
+def small_places():
+    return generate_places(600, seed=11)
+
+
+@pytest.fixture
+def small_units(small_config):
+    return generate_units(30, small_config.protection_range, seed=12)
+
+
+@pytest.fixture
+def small_stream(small_units):
+    mobility = RandomWalkMobility(small_units, step=0.03, seed=13)
+    return record_stream(mobility, 150)
+
+
+@pytest.fixture
+def small_oracle(small_places, small_units):
+    return Oracle(small_places, small_units)
+
+
+def assert_valid_topk(oracle: Oracle, monitor, k: int) -> None:
+    """Assert the monitor's current result is a valid top-k set."""
+    verdict = oracle.validate(monitor.top_k(), k)
+    assert verdict.ok, verdict.problems
+
+
+@pytest.fixture
+def unit_at():
+    """Factory for units at explicit coordinates."""
+
+    def build(unit_id: int, x: float, y: float, radius: float = 0.1) -> Unit:
+        from repro.geometry import Point
+
+        return Unit(unit_id=unit_id, location=Point(x, y), protection_range=radius)
+
+    return build

@@ -1,0 +1,111 @@
+"""Runtime-adaptive Δ."""
+
+import pytest
+
+from repro.core import OptCTUP
+from repro.core.adaptive import AdaptiveDeltaController
+from tests.conftest import assert_valid_topk
+
+
+@pytest.fixture
+def monitor(small_config, small_places, small_units):
+    m = OptCTUP(small_config, small_places, small_units)
+    m.initialize()
+    return m
+
+
+class TestDeltaProperty:
+    def test_starts_at_config_value(self, monitor, small_config):
+        assert monitor.delta == small_config.delta
+
+    def test_settable(self, monitor):
+        monitor.delta = 9
+        assert monitor.delta == 9.0
+
+    def test_negative_rejected(self, monitor):
+        with pytest.raises(ValueError):
+            monitor.delta = -1
+
+    def test_live_delta_changes_trim_band(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        wide = OptCTUP(small_config, small_places, small_units)
+        wide.initialize()
+        wide.delta = 12
+        narrow = OptCTUP(small_config, small_places, small_units)
+        narrow.initialize()
+        narrow.delta = 0
+        for update in small_stream:
+            wide.process(update)
+            narrow.process(update)
+        assert (
+            wide.counters.maintained_peak >= narrow.counters.maintained_peak
+        )
+
+
+class TestControllerValidation:
+    def test_parameter_validation(self, monitor):
+        with pytest.raises(ValueError):
+            AdaptiveDeltaController(monitor, window=0)
+        with pytest.raises(ValueError):
+            AdaptiveDeltaController(monitor, delta_min=-1)
+        with pytest.raises(ValueError):
+            AdaptiveDeltaController(monitor, delta_min=5, delta_max=2)
+        with pytest.raises(ValueError):
+            AdaptiveDeltaController(monitor, step=0)
+
+
+class TestAdaptation:
+    def test_results_stay_valid_while_delta_moves(
+        self, monitor, small_oracle, small_stream
+    ):
+        controller = AdaptiveDeltaController(
+            monitor, window=25, access_target=0.05
+        )
+        for update in small_stream:
+            small_oracle.apply(update)
+            controller.process(update)
+            assert_valid_topk(small_oracle, monitor, monitor.config.k)
+        assert controller.history  # it did adapt
+
+    def test_high_access_rate_raises_delta(self, monitor, small_stream):
+        controller = AdaptiveDeltaController(
+            monitor, window=25, access_target=0.0
+        )
+        start = monitor.delta
+        controller.run_stream(small_stream)
+        assert controller.current_delta > start
+
+    def test_budget_pressure_lowers_delta(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        m = OptCTUP(
+            small_config.replace(delta=10), small_places, small_units
+        )
+        m.initialize()
+        controller = AdaptiveDeltaController(
+            m,
+            window=25,
+            access_target=10.0,  # accesses never exceed this
+            maintained_budget=1,  # any maintained place is "too many"
+        )
+        controller.run_stream(small_stream)
+        assert controller.current_delta < 10
+
+    def test_delta_respects_bounds(self, monitor, small_stream):
+        controller = AdaptiveDeltaController(
+            monitor,
+            window=10,
+            access_target=0.0,
+            delta_max=7.0,
+        )
+        controller.run_stream(small_stream)
+        assert controller.current_delta <= 7.0
+
+    def test_history_records_windows(self, monitor, small_stream):
+        controller = AdaptiveDeltaController(monitor, window=30)
+        controller.run_stream(small_stream)
+        assert len(controller.history) == len(small_stream) // 30
+        for step in controller.history:
+            assert step.at_update % 30 == 0
+            assert step.accesses >= 0

@@ -1,0 +1,92 @@
+"""Batch (burst) update processing."""
+
+import pytest
+
+from repro.core import BasicCTUP, OptCTUP
+from repro.core.batch import BatchProcessor
+from tests.conftest import assert_valid_topk
+
+
+@pytest.fixture
+def processor(small_config, small_places, small_units):
+    monitor = OptCTUP(small_config, small_places, small_units)
+    monitor.initialize()
+    return BatchProcessor(monitor)
+
+
+class TestConstruction:
+    def test_requires_optctup(self, small_config, small_places, small_units):
+        basic = BasicCTUP(small_config, small_places, small_units)
+        with pytest.raises(TypeError):
+            BatchProcessor(basic)
+
+    def test_requires_initialized_monitor(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        processor = BatchProcessor(
+            OptCTUP(small_config, small_places, small_units)
+        )
+        with pytest.raises(RuntimeError):
+            processor.process_batch(list(small_stream.prefix(3)))
+
+
+class TestProcessing:
+    def test_empty_batch_rejected(self, processor):
+        with pytest.raises(ValueError):
+            processor.process_batch([])
+
+    def test_bad_batch_size(self, processor, small_stream):
+        with pytest.raises(ValueError):
+            processor.run_stream(small_stream, 0)
+
+    def test_single_batch_valid(self, processor, small_oracle, small_stream):
+        batch = list(small_stream.prefix(20))
+        report = processor.process_batch(batch)
+        for update in batch:
+            small_oracle.apply(update)
+        assert_valid_topk(small_oracle, processor.monitor, processor.monitor.config.k)
+        assert report.unit_id == batch[-1].unit_id
+        assert processor.batches_processed == 1
+        assert processor.updates_processed == 20
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 50])
+    def test_batched_equals_sequential(
+        self,
+        batch_size,
+        small_config,
+        small_places,
+        small_units,
+        small_stream,
+        small_oracle,
+    ):
+        sequential = OptCTUP(small_config, small_places, small_units)
+        sequential.initialize()
+        batched = OptCTUP(small_config, small_places, small_units)
+        batched.initialize()
+        processor = BatchProcessor(batched)
+
+        sequential.run_stream(small_stream)
+        consumed = processor.run_stream(small_stream, batch_size)
+        assert consumed == len(small_stream)
+        for update in small_stream:
+            small_oracle.apply(update)
+        assert_valid_topk(small_oracle, batched, small_config.k)
+        assert batched.sk() == sequential.sk()
+
+    def test_batching_never_increases_accesses(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        def accesses(batch_size: int) -> int:
+            monitor = OptCTUP(small_config, small_places, small_units)
+            monitor.initialize()
+            base = monitor.counters.cells_accessed
+            BatchProcessor(monitor).run_stream(small_stream, batch_size)
+            return monitor.counters.cells_accessed - base
+
+        assert accesses(25) <= accesses(1)
+
+    def test_counters_cover_all_updates(self, processor, small_stream):
+        processor.run_stream(small_stream, 8)
+        assert (
+            processor.monitor.counters.updates_processed == len(small_stream)
+        )

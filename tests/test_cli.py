@@ -1,0 +1,44 @@
+"""The ctup command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "table3" in out
+        assert "expected:" in out
+
+
+class TestRun:
+    def test_run_table3(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Default parameter values" in out
+        assert "15,000" in out or "15000" in out
+
+    def test_run_figure_tiny(self, capsys):
+        assert main(["run", "fig3", "--scale", "0.04"]) == 0
+        out = capsys.readouterr().out
+        assert "naive" in out and "basic" in out and "opt" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_seed_flag(self, capsys):
+        assert main(["run", "fig3", "--scale", "0.04", "--seed", "3"]) == 0
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_scale_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig3", "--scale", "abc"])

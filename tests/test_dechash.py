@@ -1,0 +1,91 @@
+"""Unit tests for DecHash."""
+
+from repro.core.dechash import DecHash
+
+
+class TestBasics:
+    def test_empty(self):
+        h = DecHash()
+        assert len(h) == 0
+        assert not h.contains(1, (0, 0))
+
+    def test_insert_and_contains(self):
+        h = DecHash()
+        assert h.insert(1, (2, 3))
+        assert h.contains(1, (2, 3))
+        assert (1, (2, 3)) in h
+        assert len(h) == 1
+
+    def test_insert_duplicate_returns_false(self):
+        h = DecHash()
+        h.insert(1, (0, 0))
+        assert not h.insert(1, (0, 0))
+        assert len(h) == 1
+
+    def test_same_unit_different_cells(self):
+        h = DecHash()
+        h.insert(1, (0, 0))
+        h.insert(1, (0, 1))
+        assert len(h) == 2
+
+    def test_same_cell_different_units(self):
+        h = DecHash()
+        h.insert(1, (0, 0))
+        h.insert(2, (0, 0))
+        assert len(h) == 2
+
+
+class TestRemove:
+    def test_remove_present(self):
+        h = DecHash()
+        h.insert(1, (0, 0))
+        assert h.remove(1, (0, 0))
+        assert len(h) == 0
+        assert not h.contains(1, (0, 0))
+
+    def test_remove_absent_is_noop(self):
+        h = DecHash()
+        assert not h.remove(1, (0, 0))
+        assert len(h) == 0
+
+    def test_remove_keeps_other_units(self):
+        h = DecHash()
+        h.insert(1, (0, 0))
+        h.insert(2, (0, 0))
+        h.remove(1, (0, 0))
+        assert h.contains(2, (0, 0))
+
+    def test_reinsert_after_remove(self):
+        h = DecHash()
+        h.insert(1, (0, 0))
+        h.remove(1, (0, 0))
+        assert h.insert(1, (0, 0))
+
+
+class TestClearCell:
+    def test_clear_cell_drops_all_pairs(self):
+        h = DecHash()
+        h.insert(1, (0, 0))
+        h.insert(2, (0, 0))
+        h.insert(1, (5, 5))
+        assert h.clear_cell((0, 0)) == 2
+        assert len(h) == 1
+        assert h.contains(1, (5, 5))
+
+    def test_clear_empty_cell(self):
+        h = DecHash()
+        assert h.clear_cell((9, 9)) == 0
+
+    def test_pairs_of_cell(self):
+        h = DecHash()
+        h.insert(1, (0, 0))
+        h.insert(3, (0, 0))
+        assert h.pairs_of_cell((0, 0)) == {1, 3}
+        assert h.pairs_of_cell((1, 1)) == set()
+
+    def test_clear_all(self):
+        h = DecHash()
+        h.insert(1, (0, 0))
+        h.insert(2, (1, 1))
+        h.clear()
+        assert len(h) == 0

@@ -1,0 +1,154 @@
+"""Degenerate configurations the schemes must survive.
+
+Single-cell grids, every place stacked in one cell, fewer places than
+k, fleets that never protect anything — each exercises boundary logic
+(infinite SK, empty maintained tables, all-N classifications) that the
+realistic workloads rarely hit.
+"""
+
+import math
+
+import pytest
+
+from repro.core import BasicCTUP, CTUPConfig, NaiveCTUP, OptCTUP
+from repro.core.audit import audit_monitor
+from repro.geometry import Point
+from repro.model import Place, Unit
+from repro.validate import Oracle
+from repro.workloads import RandomWalkMobility, generate_places, record_stream
+
+SCHEMES = [NaiveCTUP, BasicCTUP, OptCTUP]
+
+
+def drive(config, places, units, stream, audit=True):
+    oracle = Oracle(places, units)
+    monitors = [cls(config, places, units) for cls in SCHEMES]
+    for monitor in monitors:
+        monitor.initialize()
+    for update in stream:
+        oracle.apply(update)
+        for monitor in monitors:
+            monitor.process(update)
+            verdict = oracle.validate(monitor.top_k(), config.k)
+            assert verdict.ok, (monitor.name, verdict.problems[:3])
+    if audit:
+        for monitor in monitors[1:]:  # naive keeps no auditable state
+            assert audit_monitor(monitor) == [], monitor.name
+    return monitors
+
+
+@pytest.fixture
+def fleet():
+    units = [
+        Unit(0, Point(0.2, 0.2), 0.1),
+        Unit(1, Point(0.8, 0.8), 0.1),
+        Unit(2, Point(0.5, 0.5), 0.1),
+    ]
+    return units
+
+
+def walk(units, seed=1, n=60):
+    return record_stream(RandomWalkMobility(units, step=0.05, seed=seed), n)
+
+
+class TestSingleCellGrid:
+    def test_granularity_one(self, fleet):
+        config = CTUPConfig(k=3, delta=2, protection_range=0.1, granularity=1)
+        places = generate_places(100, seed=1)
+        drive(config, places, fleet, walk(fleet))
+
+
+class TestStackedPlaces:
+    def test_all_places_in_one_cell(self, fleet):
+        config = CTUPConfig(k=4, delta=2, protection_range=0.1, granularity=8)
+        places = [
+            Place(i, Point(0.33 + i * 1e-4, 0.61), i % 5) for i in range(80)
+        ]
+        drive(config, places, fleet, walk(fleet, seed=2))
+
+    def test_coincident_places(self, fleet):
+        config = CTUPConfig(k=3, delta=1, protection_range=0.1, granularity=8)
+        places = [Place(i, Point(0.5, 0.5), i % 4) for i in range(20)]
+        drive(config, places, fleet, walk(fleet, seed=3))
+
+
+class TestFewerPlacesThanK:
+    def test_sk_stays_infinite(self, fleet):
+        config = CTUPConfig(k=50, delta=2, protection_range=0.1, granularity=4)
+        places = generate_places(8, seed=2)
+        monitors = drive(config, places, fleet, walk(fleet, seed=4))
+        for monitor in monitors:
+            assert monitor.sk() == math.inf
+            assert len(monitor.top_k()) == 8
+
+    def test_opt_maintains_everything(self, fleet):
+        config = CTUPConfig(k=50, delta=2, protection_range=0.1, granularity=4)
+        places = generate_places(8, seed=2)
+        monitor = OptCTUP(config, places, fleet)
+        monitor.initialize()
+        # SK = inf means every cell's bound is "below SK": all maintained.
+        assert len(monitor.maintained) == 8
+
+
+class TestIrrelevantFleet:
+    def test_units_protect_nothing(self):
+        # places in one corner, the fleet walking in the other.
+        config = CTUPConfig(k=3, delta=2, protection_range=0.05, granularity=8)
+        places = [
+            Place(i, Point(0.05 + (i % 5) * 0.01, 0.05 + (i // 5) * 0.01), 2)
+            for i in range(25)
+        ]
+        units = [Unit(0, Point(0.9, 0.9), 0.05), Unit(1, Point(0.95, 0.9), 0.05)]
+        stream = record_stream(
+            RandomWalkMobility(units, step=0.01, seed=5), 40
+        )
+        monitors = drive(config, places, units, stream)
+        # every place keeps safety exactly -RP = -2 throughout.
+        for monitor in monitors:
+            assert monitor.sk() == -2.0
+
+
+class TestStationaryReports:
+    def test_zero_displacement_updates(self, fleet):
+        """Units reporting without moving (the P->P drawback trigger)."""
+        from repro.model import LocationUpdate
+
+        config = CTUPConfig(k=3, delta=2, protection_range=0.1, granularity=8)
+        places = generate_places(200, seed=3)
+        oracle = Oracle(places, fleet)
+        monitors = [cls(config, places, fleet) for cls in SCHEMES]
+        for monitor in monitors:
+            monitor.initialize()
+        for _ in range(25):
+            for unit in fleet:
+                update = LocationUpdate(
+                    unit.unit_id, unit.location, unit.location
+                )
+                oracle.apply(update)
+                for monitor in monitors:
+                    monitor.process(update)
+        for monitor in monitors:
+            verdict = oracle.validate(monitor.top_k(), config.k)
+            assert verdict.ok, (monitor.name, verdict.problems[:3])
+        # DOO suppresses the repeated no-move decrements for opt...
+        opt = monitors[2]
+        basic = monitors[1]
+        assert opt.counters.lb_decrements <= basic.counters.lb_decrements
+
+
+class TestStreamFiles:
+    def test_save_and_load_roundtrip(self, tmp_path, fleet):
+        stream = walk(fleet, seed=9, n=30)
+        path = tmp_path / "stream.jsonl"
+        stream.save(path)
+        assert path.exists()
+        from repro.workloads.stream import UpdateStream
+
+        assert UpdateStream.load(path) == stream
+
+    def test_save_empty_stream(self, tmp_path):
+        from repro.workloads.stream import UpdateStream
+
+        path = tmp_path / "empty.jsonl"
+        UpdateStream().save(path)
+        assert UpdateStream.load(path) == UpdateStream()

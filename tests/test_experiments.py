@@ -1,0 +1,115 @@
+"""The experiment registry and tiny-scale smoke runs of every figure."""
+
+import pytest
+
+from repro.experiments import (
+    TABLE3_DEFAULTS,
+    all_experiments,
+    default_config,
+    get_experiment,
+)
+
+TINY = 0.04  # ~600 places, 50-60 updates: seconds, not minutes.
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = {e.experiment_id for e in all_experiments()}
+        assert {
+            "table3",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+        } <= ids
+
+    def test_ablations_registered(self):
+        ids = {e.experiment_id for e in all_experiments()}
+        assert {
+            "ablation_buffer",
+            "ablation_incremental",
+            "ablation_network",
+            "ablation_placement",
+        } <= ids
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_ordering_tables_first(self):
+        kinds = [e.kind for e in all_experiments()]
+        assert kinds[0] == "table"
+        assert kinds.index("ablation") > kinds.index("figure")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.registry import Experiment, register
+
+        experiment = get_experiment("fig4")
+        clone = Experiment(
+            "fig4", "x", "y", "figure", "z", experiment.runner
+        )
+        with pytest.raises(ValueError):
+            register(clone)
+
+
+class TestDefaults:
+    def test_table3_values(self):
+        assert TABLE3_DEFAULTS["Number of units (|U|)"] == 150
+        assert TABLE3_DEFAULTS["Number of places (|P|)"] == 15_000
+        assert TABLE3_DEFAULTS["Number of TUPs (k)"] == 15
+        assert TABLE3_DEFAULTS["Adjustable Parameter (delta)"] == 6
+        assert TABLE3_DEFAULTS["Unit Protection Range"] == 0.1
+        assert TABLE3_DEFAULTS["Partition Granularity"] == 10
+
+    def test_default_config_matches_table3(self):
+        config = default_config()
+        assert config.k == 15
+        assert config.delta == 6
+        assert config.protection_range == 0.1
+        assert config.granularity == 10
+
+    def test_default_config_overrides(self):
+        assert default_config(k=3).k == 3
+
+    def test_bench_scale_env(self, monkeypatch):
+        from repro.experiments.defaults import bench_scale
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "zero")
+        with pytest.raises(ValueError):
+            bench_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    ["table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"],
+)
+def test_figure_smoke(experiment_id):
+    """Every figure regenerates (validated against the oracle) at tiny scale."""
+    experiment = get_experiment(experiment_id)
+    result = experiment.run(scale=TINY, seed=1)
+    assert result.experiment_id == experiment_id
+    assert result.rows
+    assert all(len(row) == len(result.headers) for row in result.rows)
+    assert result.to_text()
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    [
+        "ablation_buffer",
+        "ablation_incremental",
+        "ablation_network",
+        "ablation_placement",
+    ],
+)
+def test_ablation_smoke(experiment_id):
+    result = get_experiment(experiment_id).run(scale=TINY, seed=1)
+    assert result.rows

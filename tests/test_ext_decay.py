@@ -1,0 +1,132 @@
+"""The decaying-protection variant (§VII)."""
+
+import numpy as np
+import pytest
+
+from repro.ext import DecayCTUP, linear_decay, step_decay
+
+
+def brute_force_decay(places, unit_positions, radius, weight):
+    xs = np.array([p.location.x for p in places])
+    ys = np.array([p.location.y for p in places])
+    ux = np.array([p.x for p in unit_positions.values()])
+    uy = np.array([p.y for p in unit_positions.values()])
+    d = np.sqrt((xs[:, None] - ux[None, :]) ** 2 + (ys[:, None] - uy[None, :]) ** 2)
+    protection = weight(d).sum(axis=1)
+    required = np.array([p.required_protection for p in places], dtype=float)
+    return {
+        p.place_id: float(s) for p, s in zip(places, protection - required)
+    }
+
+
+class TestDecayModels:
+    def test_linear_weight_profile(self):
+        model = linear_decay(0.2)
+        d = np.array([0.0, 0.1, 0.2, 0.3])
+        assert model.weight(d).tolist() == [1.0, 0.5, 0.0, 0.0]
+
+    def test_linear_max_loss(self):
+        model = linear_decay(0.2)
+        assert model.max_loss(0.1) == pytest.approx(0.5)
+        assert model.max_loss(1.0) == 1.0
+
+    def test_step_weight_profile(self):
+        model = step_decay(0.1)
+        d = np.array([0.05, 0.1, 0.11])
+        assert model.weight(d).tolist() == [1.0, 1.0, 0.0]
+
+    def test_step_max_loss(self):
+        model = step_decay(0.1)
+        assert model.max_loss(0.0) == 0.0
+        assert model.max_loss(0.01) == 1.0
+
+    def test_weight_at_scalar(self):
+        assert linear_decay(0.2).weight_at(0.1) == pytest.approx(0.5)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            linear_decay(0.0)
+        with pytest.raises(ValueError):
+            step_decay(-1.0)
+
+
+class TestDecayMonitor:
+    def run_and_check(
+        self, config, places, units, stream, model, prefix=80
+    ):
+        monitor = DecayCTUP(config, places, units, decay=model)
+        monitor.initialize()
+        positions = {u.unit_id: u.location for u in units}
+        for update in stream.prefix(prefix):
+            monitor.process(update)
+            positions[update.unit_id] = update.new_location
+        truth = brute_force_decay(
+            places, positions, config.protection_range, model.weight
+        )
+        values = sorted(truth.values())
+        true_sk = values[config.k - 1]
+        result = monitor.top_k()
+        assert len(result) == config.k
+        for record in result:
+            assert truth[record.place_id] == pytest.approx(record.safety)
+        assert max(r.safety for r in result) == pytest.approx(true_sk)
+        must = {pid for pid, s in truth.items() if s < true_sk - 1e-9}
+        assert must <= {r.place_id for r in result}
+        return monitor
+
+    def test_linear_decay_tracks_truth(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        self.run_and_check(
+            small_config,
+            small_places,
+            small_units,
+            small_stream,
+            linear_decay(small_config.protection_range),
+        )
+
+    def test_step_decay_matches_core_semantics(
+        self, small_config, small_places, small_units, small_stream, small_oracle
+    ):
+        monitor = self.run_and_check(
+            small_config,
+            small_places,
+            small_units,
+            small_stream,
+            step_decay(small_config.protection_range),
+        )
+        for update in small_stream.prefix(80):
+            small_oracle.apply(update)
+        verdict = small_oracle.validate(monitor.top_k(), small_config.k)
+        assert verdict.ok, verdict.problems
+
+    def test_default_model_is_linear(
+        self, small_config, small_places, small_units
+    ):
+        monitor = DecayCTUP(small_config, small_places, small_units)
+        assert monitor.decay.name == "linear"
+
+    def test_fractional_safeties_appear(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        monitor = DecayCTUP(
+            small_config,
+            small_places,
+            small_units,
+            decay=linear_decay(small_config.protection_range),
+        )
+        monitor.initialize()
+        monitor.run_stream(small_stream.prefix(30))
+        # the most unsafe places may be entirely unprotected (integer
+        # safeties); the maintained band must show fractional values.
+        safeties = monitor.maintained.safeties_snapshot().values()
+        assert any(s != int(s) for s in safeties)
+
+    def test_counters_advance(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        monitor = DecayCTUP(small_config, small_places, small_units)
+        monitor.initialize()
+        monitor.run_stream(small_stream.prefix(30))
+        assert monitor.counters.updates_processed == 30
+        assert monitor.counters.lb_decrements > 0

@@ -1,0 +1,90 @@
+"""The predictive variant (§VII)."""
+
+import pytest
+
+from repro.ext import PredictiveMonitor
+from repro.geometry import Point
+from repro.model import LocationUpdate, Place, Unit
+
+
+@pytest.fixture
+def world():
+    places = [
+        Place(0, Point(0.2, 0.5), 1),
+        Place(1, Point(0.8, 0.5), 1),
+    ]
+    units = [Unit(0, Point(0.2, 0.5), 0.1)]
+    return places, units
+
+
+class TestPrediction:
+    def test_zero_horizon_is_current_state(self, world):
+        places, units = world
+        monitor = PredictiveMonitor(places, units)
+        top = monitor.predict_top_k(2, horizon=0.0)
+        # unit sits on place 0: safety(0)=0, safety(1)=-1.
+        assert top[0].place_id == 1
+        assert top[0].predicted_safety == -1.0
+        assert top[1].predicted_safety == 0.0
+
+    def test_velocity_extrapolation(self, world):
+        places, units = world
+        monitor = PredictiveMonitor(places, units)
+        # the unit moves right by 0.1 per time unit.
+        monitor.observe(LocationUpdate(0, Point(0.2, 0.5), Point(0.3, 0.5), 1.0))
+        # at horizon 5 it should be at x=0.8: protecting place 1, not 0.
+        top = monitor.predict_top_k(2, horizon=5.0)
+        assert top[0].place_id == 0
+        assert top[0].predicted_safety == -1.0
+
+    def test_prediction_clamped_to_space(self, world):
+        places, units = world
+        monitor = PredictiveMonitor(places, units)
+        monitor.observe(LocationUpdate(0, Point(0.2, 0.5), Point(0.3, 0.5), 1.0))
+        positions = monitor.predicted_positions(horizon=100.0)
+        assert 0.0 <= positions[0].x <= 1.0
+
+    def test_stationary_unit_keeps_zero_velocity(self, world):
+        places, units = world
+        monitor = PredictiveMonitor(places, units)
+        positions = monitor.predicted_positions(horizon=10.0)
+        assert positions[0] == Point(0.2, 0.5)
+
+    def test_horizon_validation(self, world):
+        monitor = PredictiveMonitor(*world)
+        with pytest.raises(ValueError):
+            monitor.predicted_positions(-1.0)
+        with pytest.raises(ValueError):
+            monitor.predict_top_k(0, 1.0)
+
+    def test_unknown_unit_rejected(self, world):
+        monitor = PredictiveMonitor(*world)
+        with pytest.raises(KeyError):
+            monitor.observe(LocationUpdate(9, Point(0, 0), Point(1, 1), 1.0))
+
+    def test_records_carry_horizon(self, world):
+        monitor = PredictiveMonitor(*world)
+        record = monitor.predict_top_k(1, horizon=2.5)[0]
+        assert record.horizon == 2.5
+
+    def test_empty_places_rejected(self, world):
+        _, units = world
+        with pytest.raises(ValueError):
+            PredictiveMonitor([], units)
+
+    def test_prediction_consistent_with_live_monitor(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        """Horizon 0 after a stream == the live monitor's current answer."""
+        from repro.core import NaiveCTUP
+
+        live = NaiveCTUP(small_config, small_places, small_units)
+        live.initialize()
+        predictive = PredictiveMonitor(small_places, small_units)
+        for update in small_stream.prefix(50):
+            live.process(update)
+            predictive.observe(update)
+        predicted = predictive.predict_top_k(small_config.k, horizon=0.0)
+        assert {p.place_id for p in predicted if p.predicted_safety < live.sk()} == {
+            r.place_id for r in live.top_k() if r.safety < live.sk()
+        }

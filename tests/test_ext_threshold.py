@@ -1,0 +1,78 @@
+"""The threshold variant (§VII)."""
+
+import pytest
+
+from repro.ext import ThresholdCTUP
+
+
+def truth_below(oracle, tau):
+    return {pid for pid, s in oracle.safeties().items() if s < tau}
+
+
+@pytest.fixture
+def threshold(small_config, small_places, small_units):
+    monitor = ThresholdCTUP(small_config, small_places, small_units, tau=-3.0)
+    monitor.initialize()
+    return monitor
+
+
+class TestThreshold:
+    def test_tau_exposed(self, threshold):
+        assert threshold.tau == -3.0
+        assert threshold.sk() == -3.0
+
+    def test_initial_set_exact(self, threshold, small_oracle):
+        got = {r.place_id for r in threshold.unsafe_places()}
+        assert got == truth_below(small_oracle, -3.0)
+
+    def test_tracks_stream_exactly(
+        self, threshold, small_oracle, small_stream
+    ):
+        for update in small_stream:
+            small_oracle.apply(update)
+            threshold.process(update)
+        got = {r.place_id for r in threshold.unsafe_places()}
+        assert got == truth_below(small_oracle, -3.0)
+
+    def test_safeties_reported_exactly(
+        self, threshold, small_oracle, small_stream
+    ):
+        for update in small_stream.prefix(60):
+            small_oracle.apply(update)
+            threshold.process(update)
+        truth = small_oracle.safeties()
+        for record in threshold.unsafe_places():
+            assert truth[record.place_id] == record.safety
+
+    def test_result_sorted(self, threshold):
+        records = threshold.unsafe_places()
+        keys = [(r.safety, r.place_id) for r in records]
+        assert keys == sorted(keys)
+
+    def test_top_k_alias(self, threshold):
+        assert threshold.top_k() == threshold.unsafe_places()
+
+    def test_very_low_tau_empty(self, small_config, small_places, small_units):
+        monitor = ThresholdCTUP(
+            small_config, small_places, small_units, tau=-100.0
+        )
+        monitor.initialize()
+        assert monitor.unsafe_places() == []
+
+    def test_high_tau_everything(self, small_config, small_places, small_units):
+        monitor = ThresholdCTUP(
+            small_config, small_places, small_units, tau=100.0
+        )
+        monitor.initialize()
+        assert len(monitor.unsafe_places()) == len(small_places)
+
+    def test_checks_along_stream(
+        self, small_config, small_places, small_units, small_oracle, small_stream
+    ):
+        monitor = ThresholdCTUP(small_config, small_places, small_units, tau=-2.0)
+        monitor.initialize()
+        for update in small_stream.prefix(80):
+            small_oracle.apply(update)
+            monitor.process(update)
+            got = {r.place_id for r in monitor.unsafe_places()}
+            assert got == truth_below(small_oracle, -2.0)

@@ -1,0 +1,84 @@
+"""Unit tests for protection disks."""
+
+import pytest
+
+from repro.geometry import Circle, Point, Rect
+
+
+class TestConstruction:
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0.0, 0.0), -0.1)
+
+    def test_zero_radius_allowed(self):
+        c = Circle(Point(0.5, 0.5), 0.0)
+        assert c.contains_point(Point(0.5, 0.5))
+        assert not c.contains_point(Point(0.5, 0.6))
+
+    def test_moved_to_keeps_radius(self):
+        c = Circle(Point(0.0, 0.0), 0.3).moved_to(Point(1.0, 1.0))
+        assert c.center == Point(1.0, 1.0)
+        assert c.radius == 0.3
+
+
+class TestPointContainment:
+    def test_center_contained(self):
+        assert Circle(Point(0.5, 0.5), 0.1).contains_point(Point(0.5, 0.5))
+
+    def test_boundary_contained(self):
+        # Definition 1 uses the closed disk.
+        assert Circle(Point(0.0, 0.0), 0.5).contains_point(Point(0.5, 0.0))
+
+    def test_outside(self):
+        assert not Circle(Point(0.0, 0.0), 0.5).contains_point(
+            Point(0.51, 0.0)
+        )
+
+
+class TestRectRelations:
+    def test_contains_small_rect(self):
+        c = Circle(Point(0.5, 0.5), 0.5)
+        assert c.contains_rect(Rect(0.4, 0.4, 0.6, 0.6))
+
+    def test_does_not_contain_rect_with_far_corner(self):
+        c = Circle(Point(0.5, 0.5), 0.5)
+        # corners of the unit square are at distance ~0.707 > 0.5
+        assert not c.contains_rect(Rect(0.0, 0.0, 1.0, 1.0))
+
+    def test_contains_rect_boundary_case(self):
+        # rect corner exactly on the circle: closed disk contains it.
+        c = Circle(Point(0.0, 0.0), 5.0)
+        assert c.contains_rect(Rect(0.0, 0.0, 3.0, 4.0))
+
+    def test_intersects_overlapping_rect(self):
+        c = Circle(Point(0.0, 0.5), 0.2)
+        assert c.intersects_rect(Rect(0.1, 0.0, 1.0, 1.0))
+
+    def test_intersects_rect_containing_circle(self):
+        assert Circle(Point(0.5, 0.5), 0.1).intersects_rect(
+            Rect(0.0, 0.0, 1.0, 1.0)
+        )
+
+    def test_does_not_intersect_far_rect(self):
+        assert not Circle(Point(0.0, 0.0), 0.1).intersects_rect(
+            Rect(0.5, 0.5, 1.0, 1.0)
+        )
+
+    def test_tangent_rect_intersects(self):
+        # disk touching the rect edge at exactly one point.
+        assert Circle(Point(0.0, 0.5), 0.5).intersects_rect(
+            Rect(0.5, 0.0, 1.0, 1.0)
+        )
+
+    def test_bounding_rect(self):
+        r = Circle(Point(0.5, 0.5), 0.2).bounding_rect()
+        assert (r.xmin, r.ymin, r.xmax, r.ymax) == pytest.approx(
+            (0.3, 0.3, 0.7, 0.7)
+        )
+
+    def test_corner_near_miss(self):
+        # the circle reaches past the rect edges in x and y separately
+        # but not diagonally: a bounding-box test would be fooled.
+        c = Circle(Point(0.0, 0.0), 1.0)
+        rect = Rect(0.8, 0.8, 2.0, 2.0)  # nearest corner at ~1.13
+        assert not c.intersects_rect(rect)

@@ -1,0 +1,71 @@
+"""Unit tests for the Point primitive."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+
+coords = st.floats(-1e6, 1e6, allow_nan=False)
+
+
+class TestDistance:
+    def test_zero_distance_to_self(self):
+        p = Point(0.3, 0.7)
+        assert p.distance_to(p) == 0.0
+
+    def test_unit_distance(self):
+        assert Point(0.0, 0.0).distance_to(Point(1.0, 0.0)) == 1.0
+
+    def test_pythagoras(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == 5.0
+
+    def test_symmetry(self):
+        a, b = Point(0.1, 0.9), Point(0.7, 0.2)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_squared_distance_matches(self):
+        a, b = Point(0.1, 0.9), Point(0.7, 0.2)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    @given(coords, coords, coords, coords)
+    def test_triangle_inequality(self, x1, y1, x2, y2):
+        a, b, origin = Point(x1, y1), Point(x2, y2), Point(0.0, 0.0)
+        assert a.distance_to(b) <= a.distance_to(origin) + origin.distance_to(
+            b
+        ) + 1e-6
+
+    @given(coords, coords)
+    def test_distance_nonnegative(self, x, y):
+        assert Point(x, y).distance_to(Point(0.0, 0.0)) >= 0.0
+
+
+class TestBasics:
+    def test_immutable(self):
+        p = Point(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.x = 1.0  # type: ignore[misc]
+
+    def test_equality(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert Point(1.0, 2.0) != Point(2.0, 1.0)
+
+    def test_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+    def test_translated(self):
+        assert Point(1.0, 2.0).translated(0.5, -0.5) == Point(1.5, 1.5)
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_iter_unpacking(self):
+        x, y = Point(3.0, 4.0)
+        assert (x, y) == (3.0, 4.0)
+
+    def test_distance_uses_hypot_precision(self):
+        # hypot avoids overflow where naive sqrt(dx^2+dy^2) would not.
+        big = 1e200
+        assert math.isfinite(Point(big, big).distance_to(Point(0.0, 0.0)))

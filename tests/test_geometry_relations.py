@@ -1,0 +1,129 @@
+"""Unit + property tests for the N/P/F classification.
+
+The classification drives Tables I and II, so it gets the heaviest
+scrutiny: explicit boundary cases plus a property test comparing it
+against dense point sampling of the rectangle.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    CellRelation,
+    Circle,
+    Point,
+    Rect,
+    classify_circle_rect,
+    point_rect_distance,
+    point_rect_max_distance,
+)
+
+N, P, F = CellRelation.NO_INTERSECT, CellRelation.PARTIAL, CellRelation.FULL
+
+CELL = Rect(0.4, 0.4, 0.5, 0.5)
+
+
+class TestDistances:
+    def test_min_distance_inside_is_zero(self):
+        assert point_rect_distance(Point(0.45, 0.45), CELL) == 0.0
+
+    def test_min_distance_left(self):
+        assert point_rect_distance(Point(0.3, 0.45), CELL) == pytest.approx(0.1)
+
+    def test_min_distance_corner(self):
+        d = point_rect_distance(Point(0.3, 0.3), CELL)
+        assert d == pytest.approx(math.hypot(0.1, 0.1))
+
+    def test_max_distance_center(self):
+        d = point_rect_max_distance(Point(0.45, 0.45), CELL)
+        assert d == pytest.approx(math.hypot(0.05, 0.05))
+
+    def test_max_distance_outside(self):
+        d = point_rect_max_distance(Point(0.0, 0.0), CELL)
+        assert d == pytest.approx(math.hypot(0.5, 0.5))
+
+    def test_max_at_least_min(self):
+        p = Point(0.2, 0.9)
+        assert point_rect_max_distance(p, CELL) >= point_rect_distance(p, CELL)
+
+
+class TestClassification:
+    def test_far_circle_is_n(self):
+        assert classify_circle_rect(Circle(Point(0.0, 0.0), 0.1), CELL) is N
+
+    def test_covering_circle_is_f(self):
+        assert classify_circle_rect(Circle(Point(0.45, 0.45), 0.2), CELL) is F
+
+    def test_overlapping_circle_is_p(self):
+        assert classify_circle_rect(Circle(Point(0.35, 0.45), 0.08), CELL) is P
+
+    def test_circle_inside_cell_is_p(self):
+        # a tiny disk wholly inside the cell partially intersects it.
+        assert classify_circle_rect(Circle(Point(0.45, 0.45), 0.01), CELL) is P
+
+    def test_exact_touch_is_p(self):
+        # disk reaching exactly the cell edge: closed sets intersect.
+        # (binary-exact coordinates so the touch really is exact)
+        rect = Rect(0.5, 0.25, 0.75, 0.5)
+        circle = Circle(Point(0.25, 0.375), 0.25)
+        assert classify_circle_rect(circle, rect) is P
+
+    def test_exact_cover_is_f(self):
+        # radius exactly the farthest-corner distance.
+        radius = math.hypot(0.05, 0.05)
+        assert classify_circle_rect(Circle(Point(0.45, 0.45), radius), CELL) is F
+
+    def test_degenerate_rect_containment_wins(self):
+        point_rect = Rect(0.5, 0.5, 0.5, 0.5)
+        circle = Circle(Point(0.5, 0.5), 0.1)
+        assert classify_circle_rect(circle, point_rect) is F
+
+    def test_zero_radius_inside_cell(self):
+        assert classify_circle_rect(Circle(Point(0.45, 0.45), 0.0), CELL) is P
+
+
+centers = st.floats(0.0, 1.0, allow_nan=False)
+radii = st.floats(0.01, 0.5, allow_nan=False)
+
+
+@settings(max_examples=200)
+@given(centers, centers, radii)
+def test_classification_agrees_with_sampling(cx, cy, radius):
+    """Dense sampling of the rectangle must agree with the classifier.
+
+    F => every sample is inside the disk; N => no sample is inside;
+    P => the boundary cases (the sampler may miss thin intersections,
+    so P only demands consistency, not exhaustiveness).
+    """
+    circle = Circle(Point(cx, cy), radius)
+    relation = classify_circle_rect(circle, CELL)
+    steps = 12
+    samples = [
+        Point(
+            CELL.xmin + (CELL.xmax - CELL.xmin) * i / steps,
+            CELL.ymin + (CELL.ymax - CELL.ymin) * j / steps,
+        )
+        for i in range(steps + 1)
+        for j in range(steps + 1)
+    ]
+    inside = sum(circle.contains_point(s) for s in samples)
+    if relation is F:
+        assert inside == len(samples)
+    elif relation is N:
+        assert inside == 0
+    else:
+        # partial: cannot have everything inside; if the classifier says
+        # the disk reaches the cell the nearest point must confirm it.
+        assert inside < len(samples)
+        assert point_rect_distance(circle.center, CELL) <= circle.radius
+
+
+@settings(max_examples=200)
+@given(centers, centers, radii, st.floats(0.0, 0.4), st.floats(0.0, 0.4))
+def test_relations_partition_all_cases(cx, cy, radius, w, h):
+    rect = Rect(0.3, 0.3, 0.3 + w + 1e-9, 0.3 + h + 1e-9)
+    relation = classify_circle_rect(Circle(Point(cx, cy), radius), rect)
+    assert relation in (N, P, F)

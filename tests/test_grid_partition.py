@@ -1,0 +1,146 @@
+"""Unit + property tests for the uniform grid partition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Circle, Point, Rect
+from repro.grid import GridPartition
+
+unit = st.floats(0.0, 1.0, allow_nan=False)
+
+
+@pytest.fixture
+def grid() -> GridPartition:
+    return GridPartition.unit_square(10)
+
+
+class TestConstruction:
+    def test_unit_square_shape(self, grid):
+        assert grid.nx == grid.ny == 10
+        assert grid.cell_count == 100
+        assert grid.cell_width == pytest.approx(0.1)
+
+    def test_rejects_zero_granularity(self):
+        with pytest.raises(ValueError):
+            GridPartition.unit_square(0)
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(ValueError):
+            GridPartition(Rect(0.0, 0.0, 0.0, 1.0), 2, 2)
+
+    def test_non_square_grid(self):
+        g = GridPartition(Rect(0.0, 0.0, 2.0, 1.0), 4, 2)
+        assert g.cell_width == pytest.approx(0.5)
+        assert g.cell_height == pytest.approx(0.5)
+
+
+class TestCellOf:
+    def test_interior_point(self, grid):
+        assert grid.cell_of(Point(0.05, 0.05)) == (0, 0)
+        assert grid.cell_of(Point(0.95, 0.95)) == (9, 9)
+
+    def test_cell_boundary_belongs_to_next_cell(self, grid):
+        # half-open cells: x = 0.1 starts cell 1.
+        assert grid.cell_of(Point(0.1, 0.0)) == (1, 0)
+
+    def test_space_max_boundary_clamped(self, grid):
+        assert grid.cell_of(Point(1.0, 1.0)) == (9, 9)
+
+    def test_outside_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.cell_of(Point(1.5, 0.5))
+
+    @given(unit, unit)
+    def test_point_contained_in_its_cell(self, x, y):
+        grid = GridPartition.unit_square(7)
+        cell = grid.cell_of(Point(x, y))
+        assert grid.cell_rect(cell).contains_point(Point(x, y))
+
+    @given(unit, unit)
+    def test_cell_of_is_unique_modulo_boundaries(self, x, y):
+        """A point strictly inside one cell is in no other cell's interior."""
+        grid = GridPartition.unit_square(5)
+        cell = grid.cell_of(Point(x, y))
+        rect = grid.cell_rect(cell)
+        interior = (
+            rect.xmin < x < rect.xmax and rect.ymin < y < rect.ymax
+        )
+        if interior:
+            owners = [
+                c
+                for c in grid.all_cells()
+                if grid.cell_rect(c).contains_point(Point(x, y))
+            ]
+            assert owners == [cell]
+
+
+class TestCellRect:
+    def test_first_cell(self, grid):
+        rect = grid.cell_rect((0, 0))
+        assert (rect.xmin, rect.ymin) == (0.0, 0.0)
+        assert rect.xmax == pytest.approx(0.1)
+
+    def test_cells_tile_the_space(self, grid):
+        total = sum(grid.cell_rect(c).area for c in grid.all_cells())
+        assert total == pytest.approx(1.0)
+
+    def test_bad_cell_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.cell_rect((10, 0))
+        with pytest.raises(ValueError):
+            grid.cell_rect((-1, 0))
+
+
+class TestLinearIndex:
+    def test_roundtrip_all_cells(self, grid):
+        for cell in grid.all_cells():
+            assert grid.from_linear(grid.linear(cell)) == cell
+
+    def test_linear_dense_and_unique(self, grid):
+        values = sorted(grid.linear(c) for c in grid.all_cells())
+        assert values == list(range(grid.cell_count))
+
+    def test_from_linear_out_of_range(self, grid):
+        with pytest.raises(ValueError):
+            grid.from_linear(100)
+
+
+class TestOverlapQueries:
+    def test_rect_overlap_single_cell(self, grid):
+        cells = list(grid.cells_overlapping_rect(Rect(0.41, 0.41, 0.49, 0.49)))
+        assert cells == [(4, 4)]
+
+    def test_rect_overlap_multiple(self, grid):
+        cells = set(grid.cells_overlapping_rect(Rect(0.05, 0.05, 0.15, 0.15)))
+        assert cells == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_rect_outside_space(self, grid):
+        assert list(grid.cells_overlapping_rect(Rect(2.0, 2.0, 3.0, 3.0))) == []
+
+    def test_rect_partially_outside_clipped(self, grid):
+        cells = set(grid.cells_overlapping_rect(Rect(-1.0, -1.0, 0.05, 0.05)))
+        assert cells == {(0, 0)}
+
+    def test_circle_touching_cells(self, grid):
+        cells = set(grid.cells_touching_circle(Circle(Point(0.45, 0.45), 0.1)))
+        # disk of radius 0.1 centred mid-cell: reaches the 4 orthogonal
+        # neighbours but not the diagonal ones (corner distance ~0.07+).
+        assert (4, 4) in cells
+        assert (3, 4) in cells and (5, 4) in cells
+        assert (4, 3) in cells and (4, 5) in cells
+
+    def test_circle_cells_all_actually_touch(self, grid):
+        circle = Circle(Point(0.3, 0.7), 0.17)
+        for cell in grid.cells_touching_circle(circle):
+            assert circle.intersects_rect(grid.cell_rect(cell))
+
+    @given(unit, unit, st.floats(0.01, 0.3))
+    def test_circle_touch_set_is_complete(self, cx, cy, radius):
+        """Every cell the disk intersects is returned."""
+        grid = GridPartition.unit_square(6)
+        circle = Circle(Point(cx, cy), radius)
+        returned = set(grid.cells_touching_circle(circle))
+        for cell in grid.all_cells():
+            if circle.intersects_rect(grid.cell_rect(cell)):
+                assert cell in returned

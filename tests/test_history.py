@@ -1,0 +1,110 @@
+"""Time-travel queries over the result history."""
+
+import pytest
+
+from repro.core import ChangeTracker, OptCTUP
+from repro.core.history import TopKHistory
+
+
+@pytest.fixture
+def recorded(small_config, small_places, small_units, small_stream):
+    tracker = ChangeTracker(OptCTUP(small_config, small_places, small_units))
+    tracker.initialize()
+    history = TopKHistory(tracker)
+    history.start(timestamp=0.0)
+    snapshots = {}
+    for update in small_stream:
+        tracker.process(update)
+        snapshots[update.timestamp] = set(tracker.monitor.topk_ids())
+    return history, snapshots, small_stream
+
+
+class TestLifecycle:
+    def test_start_required_before_queries(
+        self, small_config, small_places, small_units
+    ):
+        tracker = ChangeTracker(
+            OptCTUP(small_config, small_places, small_units)
+        )
+        tracker.initialize()
+        history = TopKHistory(tracker)
+        with pytest.raises(RuntimeError):
+            history.result_at(1.0)
+        with pytest.raises(RuntimeError):
+            history.exposures(1)
+
+    def test_recording_before_start_rejected(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        tracker = ChangeTracker(
+            OptCTUP(small_config, small_places, small_units)
+        )
+        tracker.initialize()
+        TopKHistory(tracker)  # subscribed but never started
+        with pytest.raises(RuntimeError):
+            for update in small_stream:
+                tracker.process(update)
+
+    def test_query_before_history_begins(self, recorded):
+        history, _, _ = recorded
+        with pytest.raises(ValueError):
+            history.result_at(-5.0)
+
+
+class TestReconstruction:
+    def test_membership_matches_live_snapshots(self, recorded):
+        history, snapshots, stream = recorded
+        for timestamp, ids in list(snapshots.items())[::13]:
+            assert set(history.result_at(timestamp)) == ids, timestamp
+
+    def test_final_state_matches_monitor(self, recorded):
+        history, _, stream = recorded
+        last = stream[len(stream) - 1].timestamp
+        final = set(history.result_at(last))
+        assert final == set(history._tracker.monitor.topk_ids())
+
+    def test_was_topk(self, recorded):
+        history, snapshots, stream = recorded
+        mid = stream[len(stream) // 2].timestamp
+        ids = snapshots[mid]
+        some_member = next(iter(ids))
+        assert history.was_topk(some_member, mid)
+
+    def test_changes_are_sparse(self, recorded):
+        history, _, stream = recorded
+        assert history.change_count < len(stream)
+
+
+class TestExposures:
+    def test_exposures_cover_membership(self, recorded):
+        history, snapshots, stream = recorded
+        # pick a place that was a member at some point mid-stream.
+        mid = stream[len(stream) // 2].timestamp
+        place_id = next(iter(snapshots[mid]))
+        exposures = history.exposures(place_id)
+        assert exposures
+        assert any(
+            e.entered_at <= mid and (e.left_at is None or e.left_at >= mid)
+            for e in exposures
+        )
+
+    def test_total_exposure_positive_for_members(self, recorded):
+        history, snapshots, stream = recorded
+        last = stream[len(stream) - 1].timestamp
+        place_id = next(iter(snapshots[last]))
+        assert history.total_exposure(place_id, now=last) > 0
+
+    def test_never_member_has_no_exposure(self, recorded, small_places):
+        history, snapshots, stream = recorded
+        ever = set().union(*snapshots.values())
+        outsider = next(
+            p.place_id for p in small_places if p.place_id not in ever
+        )
+        assert history.exposures(outsider) == []
+        assert history.total_exposure(outsider, now=1e9) == 0.0
+
+    def test_open_interval_duration_uses_now(self):
+        from repro.core.history import Exposure
+
+        exposure = Exposure(place_id=1, entered_at=10.0, left_at=None)
+        assert exposure.duration(now=25.0) == 15.0

@@ -1,0 +1,220 @@
+"""The R-tree and the snapshot top-k algorithm."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.units import UnitIndex
+from repro.geometry import Point, Rect
+from repro.index import RTree, snapshot_top_k_unsafe
+from repro.model import Place, Unit
+from repro.validate import Oracle
+from repro.workloads import generate_places, generate_units
+
+
+@pytest.fixture(scope="module")
+def places():
+    return generate_places(800, seed=50)
+
+
+@pytest.fixture(scope="module")
+def tree(places):
+    return RTree(places, fanout=8)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RTree([])
+
+    def test_rejects_tiny_fanout(self, places):
+        with pytest.raises(ValueError):
+            RTree(places, fanout=1)
+
+    def test_size(self, tree, places):
+        assert len(tree) == len(places)
+
+    def test_single_place(self):
+        tree = RTree([Place(0, Point(0.5, 0.5), 3)])
+        assert tree.height == 1
+        assert tree.root.max_required == 3
+
+    def test_all_places_reachable(self, tree, places):
+        assert {p.place_id for p in tree.iter_places()} == {
+            p.place_id for p in places
+        }
+
+    def test_height_logarithmic(self, tree, places):
+        import math
+
+        expected_max = math.ceil(math.log(len(places), 2)) + 1
+        assert 1 <= tree.height <= expected_max
+
+
+class TestStructuralInvariants:
+    def test_mbrs_contain_children(self, tree):
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                for place in node.places:
+                    assert node.mbr.contains_point(place.location)
+            else:
+                for child in node.children:
+                    assert node.mbr.contains_rect(child.mbr)
+
+    def test_max_required_aggregates(self, tree):
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                expected = max(p.required_protection for p in node.places)
+            else:
+                expected = max(c.max_required for c in node.children)
+            assert node.max_required == expected
+
+    def test_counts_aggregate(self, tree, places):
+        assert tree.root.count == len(places)
+        for node in tree.iter_nodes():
+            if not node.is_leaf:
+                assert node.count == sum(c.count for c in node.children)
+
+    def test_fanout_respected(self, tree):
+        for node in tree.iter_nodes():
+            if node.is_leaf:
+                assert 1 <= len(node.places) <= tree.fanout
+            else:
+                assert 1 <= len(node.children) <= tree.fanout
+
+
+class TestRangeQuery:
+    def test_matches_linear_scan(self, tree, places):
+        window = Rect(0.2, 0.3, 0.55, 0.7)
+        expected = {
+            p.place_id for p in places if window.contains_point(p.location)
+        }
+        got = {p.place_id for p in tree.range_query(window)}
+        assert got == expected
+
+    def test_empty_window(self, tree):
+        assert tree.range_query(Rect(2.0, 2.0, 3.0, 3.0)) == []
+
+    def test_full_window(self, tree, places):
+        assert len(tree.range_query(Rect(0, 0, 1, 1))) == len(places)
+
+    @settings(max_examples=40)
+    @given(
+        st.floats(0, 1), st.floats(0, 1), st.floats(0, 0.5), st.floats(0, 0.5)
+    )
+    def test_range_query_property(self, tree, places, x, y, w, h):
+        window = Rect(x, y, min(x + w, 1.0) + 1e-12, min(y + h, 1.0) + 1e-12)
+        got = {p.place_id for p in tree.range_query(window)}
+        expected = {
+            p.place_id for p in places if window.contains_point(p.location)
+        }
+        assert got == expected
+
+
+class TestCircleQuery:
+    def test_matches_linear_scan(self, tree, places):
+        center, radius = Point(0.4, 0.6), 0.15
+        expected = {
+            p.place_id
+            for p in places
+            if center.squared_distance_to(p.location) <= radius * radius
+        }
+        got = {p.place_id for p in tree.circle_query(center, radius)}
+        assert got == expected
+
+    def test_zero_radius(self, tree, places):
+        target = places[17]
+        got = tree.circle_query(target.location, 0.0)
+        assert target.place_id in {p.place_id for p in got}
+
+
+class TestNearest:
+    def test_nearest_one(self, tree, places):
+        query = Point(0.31, 0.62)
+        got = tree.nearest(query, 1)[0]
+        best = min(places, key=lambda p: query.distance_to(p.location))
+        assert query.distance_to(got.location) == pytest.approx(
+            query.distance_to(best.location)
+        )
+
+    def test_nearest_k_sorted(self, tree):
+        query = Point(0.5, 0.5)
+        got = tree.nearest(query, 10)
+        distances = [query.distance_to(p.location) for p in got]
+        assert distances == sorted(distances)
+        assert len(got) == 10
+
+    def test_nearest_matches_linear_scan(self, tree, places):
+        query = Point(0.8, 0.2)
+        got = [p.place_id for p in tree.nearest(query, 5)]
+        expected = [
+            p.place_id
+            for p in sorted(
+                places, key=lambda p: (query.distance_to(p.location), p.place_id)
+            )[:5]
+        ]
+        # equal-distance orderings may differ; compare distances.
+        gd = [query.distance_to(p.location) for p in tree.nearest(query, 5)]
+        ed = sorted(query.distance_to(p.location) for p in places)[:5]
+        assert gd == pytest.approx(ed)
+
+    def test_nearest_k_larger_than_size(self, places):
+        tree = RTree(places[:3])
+        assert len(tree.nearest(Point(0.5, 0.5), 10)) == 3
+
+    def test_nearest_invalid_k(self, tree):
+        with pytest.raises(ValueError):
+            tree.nearest(Point(0.5, 0.5), 0)
+
+
+class TestSnapshotTopK:
+    @pytest.fixture(scope="class")
+    def units(self):
+        return generate_units(40, 0.1, seed=51)
+
+    def test_matches_oracle(self, tree, places, units):
+        index = UnitIndex(units)
+        oracle = Oracle(places, units)
+        answer = snapshot_top_k_unsafe(tree, index, k=10)
+        verdict = oracle.validate(answer.records, 10)
+        assert verdict.ok, verdict.problems
+        assert answer.sk == oracle.sk(10)
+
+    def test_prunes_most_of_the_tree(self, tree, places, units):
+        index = UnitIndex(units)
+        answer = snapshot_top_k_unsafe(tree, index, k=5)
+        assert answer.places_evaluated < len(places)
+        assert answer.nodes_pruned > 0
+
+    def test_k_covers_everything(self, places, units):
+        tree = RTree(places[:20])
+        index = UnitIndex(units)
+        answer = snapshot_top_k_unsafe(tree, index, k=50)
+        assert len(answer.records) == 20
+        assert answer.sk == float("inf") or len(answer.records) == 20
+
+    def test_invalid_k(self, tree, units):
+        with pytest.raises(ValueError):
+            snapshot_top_k_unsafe(tree, UnitIndex(units), 0)
+
+    def test_records_sorted(self, tree, units):
+        answer = snapshot_top_k_unsafe(tree, UnitIndex(units), 10)
+        keys = [(r.safety, r.place_id) for r in answer.records]
+        assert keys == sorted(keys)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), k=st.integers(1, 12))
+    def test_snapshot_property(self, seed, k):
+        rng = random.Random(seed)
+        places = generate_places(rng.randint(30, 300), seed=seed)
+        units = [
+            Unit(i, Point(rng.random(), rng.random()), 0.12)
+            for i in range(rng.randint(2, 25))
+        ]
+        tree = RTree(places, fanout=rng.choice([2, 4, 8, 16]))
+        answer = snapshot_top_k_unsafe(tree, UnitIndex(units), k)
+        oracle = Oracle(places, units)
+        verdict = oracle.validate(answer.records, k)
+        assert verdict.ok, verdict.problems

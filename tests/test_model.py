@@ -1,0 +1,74 @@
+"""Unit tests for the data model."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+
+
+class TestPlace:
+    def test_negative_required_protection_rejected(self):
+        with pytest.raises(ValueError):
+            Place(0, Point(0.5, 0.5), required_protection=-1)
+
+    def test_zero_required_protection_allowed(self):
+        assert Place(0, Point(0.5, 0.5), 0).required_protection == 0
+
+    def test_frozen(self):
+        p = Place(0, Point(0.5, 0.5), 1)
+        with pytest.raises(AttributeError):
+            p.required_protection = 5  # type: ignore[misc]
+
+    def test_kind_defaults(self):
+        assert Place(0, Point(0.5, 0.5), 1).kind == "place"
+
+
+class TestUnit:
+    def test_positive_range_required(self):
+        with pytest.raises(ValueError):
+            Unit(0, Point(0.5, 0.5), protection_range=0.0)
+
+    def test_protection_region(self):
+        u = Unit(0, Point(0.5, 0.5), 0.2)
+        region = u.protection_region()
+        assert region.center == Point(0.5, 0.5)
+        assert region.radius == 0.2
+
+    def test_protects_inside(self):
+        u = Unit(0, Point(0.5, 0.5), 0.2)
+        assert u.protects(Place(0, Point(0.6, 0.5), 1))
+
+    def test_protects_boundary(self):
+        u = Unit(0, Point(0.0, 0.0), 0.5)
+        assert u.protects(Place(0, Point(0.5, 0.0), 1))
+
+    def test_does_not_protect_outside(self):
+        u = Unit(0, Point(0.5, 0.5), 0.1)
+        assert not u.protects(Place(0, Point(0.7, 0.5), 1))
+
+    def test_location_mutable(self):
+        u = Unit(0, Point(0.5, 0.5), 0.1)
+        u.location = Point(0.6, 0.6)
+        assert u.location == Point(0.6, 0.6)
+
+
+class TestLocationUpdate:
+    def test_displacement(self):
+        update = LocationUpdate(0, Point(0.0, 0.0), Point(3.0, 4.0))
+        assert update.displacement() == 5.0
+
+    def test_frozen(self):
+        update = LocationUpdate(0, Point(0.0, 0.0), Point(1.0, 0.0))
+        with pytest.raises(AttributeError):
+            update.unit_id = 3  # type: ignore[misc]
+
+    def test_default_timestamp(self):
+        update = LocationUpdate(0, Point(0.0, 0.0), Point(1.0, 0.0))
+        assert update.timestamp == 0.0
+
+
+class TestSafetyRecord:
+    def test_place_id_proxy(self):
+        record = SafetyRecord(Place(42, Point(0.5, 0.5), 1), -3.0)
+        assert record.place_id == 42
+        assert record.safety == -3.0

@@ -1,0 +1,115 @@
+"""Multiple concurrent top-k queries over one shared monitor."""
+
+import pytest
+
+from repro.core.multik import MultiQueryCTUP
+from repro.core import OptCTUP
+
+
+@pytest.fixture
+def multi(small_config, small_places, small_units):
+    m = MultiQueryCTUP(small_config, small_places, small_units)
+    m.register("dispatch", 3)
+    m.register("dashboard", 8)
+    m.initialize()
+    return m
+
+
+class TestRegistry:
+    def test_shared_k_is_max(self, multi):
+        assert multi.shared_k == 8
+        assert multi.queries == {"dispatch": 3, "dashboard": 8}
+
+    def test_register_before_init_required(
+        self, small_config, small_places, small_units
+    ):
+        m = MultiQueryCTUP(small_config, small_places, small_units)
+        with pytest.raises(RuntimeError):
+            m.initialize()
+
+    def test_invalid_k(self, multi):
+        with pytest.raises(ValueError):
+            multi.register("bad", 0)
+
+    def test_unregister(self, multi):
+        multi.unregister("dispatch")
+        assert "dispatch" not in multi.queries
+        with pytest.raises(KeyError):
+            multi.top_k("dispatch")
+
+    def test_unregister_unknown(self, multi):
+        with pytest.raises(KeyError):
+            multi.unregister("ghost")
+
+    def test_double_initialize(self, multi):
+        with pytest.raises(RuntimeError):
+            multi.initialize()
+
+    def test_process_before_init(self, small_config, small_places, small_units, small_stream):
+        m = MultiQueryCTUP(small_config, small_places, small_units)
+        m.register("q", 2)
+        with pytest.raises(RuntimeError):
+            m.process(small_stream[0])
+
+
+class TestAnswers:
+    def test_prefix_relationship(self, multi):
+        small = multi.top_k("dispatch")
+        large = multi.top_k("dashboard")
+        assert small == large[:3]
+        assert len(small) == 3
+        assert len(large) == 8
+
+    def test_answers_match_dedicated_monitors(
+        self, multi, small_config, small_places, small_units, small_stream, small_oracle
+    ):
+        dedicated = OptCTUP(
+            small_config.replace(k=3), small_places, small_units
+        )
+        dedicated.initialize()
+        for update in small_stream.prefix(80):
+            small_oracle.apply(update)
+            multi.process(update)
+            dedicated.process(update)
+            verdict = small_oracle.validate(multi.top_k("dispatch"), 3)
+            assert verdict.ok, verdict.problems
+            assert multi.sk("dispatch") == dedicated.sk()
+
+    def test_sk_per_query(self, multi):
+        assert multi.sk("dispatch") <= multi.sk("dashboard")
+
+
+class TestRebuild:
+    def test_growing_k_rebuilds(self, multi, small_oracle, small_stream):
+        for update in small_stream.prefix(20):
+            small_oracle.apply(update)
+            multi.process(update)
+        assert multi.rebuilds == 0
+        multi.register("analyst", 20)
+        assert multi.rebuilds == 1
+        assert multi.shared_k == 20
+        verdict = small_oracle.validate(multi.top_k("analyst"), 20)
+        assert verdict.ok, verdict.problems
+
+    def test_rebuild_preserves_unit_positions(
+        self, multi, small_stream, small_oracle
+    ):
+        for update in small_stream.prefix(30):
+            small_oracle.apply(update)
+            multi.process(update)
+        multi.register("wide", 15)
+        # the rebuilt monitor answers from the *current* positions.
+        verdict = small_oracle.validate(multi.top_k("wide"), 15)
+        assert verdict.ok, verdict.problems
+        # and keeps processing the stream consistently afterwards.
+        for update in small_stream.updates[30:60]:
+            small_oracle.apply(update)
+            multi.process(update)
+        verdict = small_oracle.validate(multi.top_k("wide"), 15)
+        assert verdict.ok, verdict.problems
+
+    def test_shrinking_does_not_rebuild(self, multi):
+        multi.register("tiny", 1)
+        assert multi.rebuilds == 0
+        assert multi.shared_k == 8
+        assert len(multi.top_k("tiny")) == 1

@@ -1,0 +1,83 @@
+"""Naïve and incremental baselines."""
+
+import pytest
+
+from repro.core import NaiveCTUP
+from repro.core.incremental import IncrementalNaiveCTUP
+from tests.conftest import assert_valid_topk
+
+
+class TestNaive:
+    @pytest.fixture
+    def naive(self, small_config, small_places, small_units):
+        monitor = NaiveCTUP(small_config, small_places, small_units)
+        monitor.initialize()
+        return monitor
+
+    def test_initial_result_valid(self, naive, small_oracle, small_config):
+        assert_valid_topk(small_oracle, naive, small_config.k)
+
+    def test_full_scan_every_update(self, naive, small_stream):
+        cells = len(naive.store.occupied_cells())
+        base = naive.counters.cells_accessed
+        naive.run_stream(small_stream.prefix(10))
+        assert naive.counters.cells_accessed - base == 10 * cells
+
+    def test_results_track_oracle(self, naive, small_oracle, small_stream):
+        for update in small_stream.prefix(40):
+            small_oracle.apply(update)
+            naive.process(update)
+            assert_valid_topk(small_oracle, naive, naive.config.k)
+
+    def test_place_lookup_matches_ids(self, naive):
+        for record in naive.top_k():
+            assert record.place.place_id == record.place_id
+
+    def test_update_report_fields(self, naive, small_stream):
+        report = naive.process(small_stream[0])
+        assert report.unit_id == small_stream[0].unit_id
+        assert report.cells_accessed > 0
+
+
+class TestIncremental:
+    @pytest.fixture
+    def incremental(self, small_config, small_places, small_units):
+        monitor = IncrementalNaiveCTUP(small_config, small_places, small_units)
+        monitor.initialize()
+        return monitor
+
+    def test_results_track_oracle(
+        self, incremental, small_oracle, small_stream
+    ):
+        for update in small_stream.prefix(40):
+            small_oracle.apply(update)
+            incremental.process(update)
+            assert_valid_topk(small_oracle, incremental, incremental.config.k)
+
+    def test_scans_all_places_every_update(
+        self, incremental, small_places, small_stream
+    ):
+        base = incremental.counters.maintained_scans
+        incremental.run_stream(small_stream.prefix(5))
+        assert incremental.counters.maintained_scans - base == 5 * len(
+            small_places
+        )
+
+    def test_does_less_distance_work_than_naive(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        naive = NaiveCTUP(small_config, small_places, small_units)
+        naive.initialize()
+        inc = IncrementalNaiveCTUP(small_config, small_places, small_units)
+        inc.initialize()
+        n0, i0 = (
+            naive.counters.distance_rows,
+            inc.counters.distance_rows,
+        )
+        for update in small_stream.prefix(20):
+            naive.process(update)
+            inc.process(update)
+        assert (
+            inc.counters.distance_rows - i0
+            < naive.counters.distance_rows - n0
+        )

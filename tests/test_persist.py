@@ -1,0 +1,99 @@
+"""Checkpoint / restore of OptCTUP state."""
+
+import json
+
+import pytest
+
+from repro.core import OptCTUP
+from repro.persist import CheckpointError, restore_optctup, snapshot_optctup
+from repro.workloads import generate_places
+from tests.conftest import assert_valid_topk
+
+
+@pytest.fixture
+def running_monitor(small_config, small_places, small_units, small_stream):
+    monitor = OptCTUP(small_config, small_places, small_units)
+    monitor.initialize()
+    for update in small_stream.prefix(60):
+        monitor.process(update)
+    return monitor
+
+
+class TestSnapshot:
+    def test_uninitialized_rejected(
+        self, small_config, small_places, small_units
+    ):
+        monitor = OptCTUP(small_config, small_places, small_units)
+        with pytest.raises(CheckpointError):
+            snapshot_optctup(monitor)
+
+    def test_snapshot_is_json(self, running_monitor):
+        data = json.loads(snapshot_optctup(running_monitor))
+        assert data["version"] == 1
+        assert data["units"]
+        assert data["cells"]
+
+
+class TestRestore:
+    def test_roundtrip_preserves_result(
+        self, running_monitor, small_places
+    ):
+        document = snapshot_optctup(running_monitor)
+        restored = restore_optctup(document, small_places)
+        assert restored.topk_ids() == running_monitor.topk_ids()
+        assert restored.sk() == running_monitor.sk()
+        assert len(restored.maintained) == len(running_monitor.maintained)
+
+    def test_restored_monitor_continues_correctly(
+        self,
+        running_monitor,
+        small_places,
+        small_units,
+        small_stream,
+        small_oracle,
+    ):
+        document = snapshot_optctup(running_monitor)
+        restored = restore_optctup(document, small_places)
+        # the oracle must first catch up with the pre-checkpoint stream.
+        for update in small_stream.prefix(60):
+            small_oracle.apply(update)
+        for update in small_stream.updates[60:]:
+            small_oracle.apply(update)
+            running_monitor.process(update)
+            restored.process(update)
+            assert_valid_topk(small_oracle, restored, restored.config.k)
+            assert restored.sk() == running_monitor.sk()
+
+    def test_restore_against_wrong_places_rejected(self, running_monitor):
+        document = snapshot_optctup(running_monitor)
+        other_places = generate_places(600, seed=999)
+        with pytest.raises(CheckpointError):
+            restore_optctup(document, other_places)
+
+    def test_restore_garbage_rejected(self, small_places):
+        with pytest.raises(CheckpointError):
+            restore_optctup("not json {", small_places)
+
+    def test_restore_wrong_version_rejected(
+        self, running_monitor, small_places
+    ):
+        data = json.loads(snapshot_optctup(running_monitor))
+        data["version"] = 99
+        with pytest.raises(CheckpointError):
+            restore_optctup(json.dumps(data), small_places)
+
+    def test_restore_skips_initialization(
+        self, running_monitor, small_places
+    ):
+        document = snapshot_optctup(running_monitor)
+        restored = restore_optctup(document, small_places)
+        # initialize() must refuse (the state is already live).
+        with pytest.raises(RuntimeError):
+            restored.initialize()
+
+    def test_config_survives(self, running_monitor, small_places):
+        document = snapshot_optctup(running_monitor)
+        restored = restore_optctup(document, small_places)
+        assert restored.config.k == running_monitor.config.k
+        assert restored.config.delta == running_monitor.config.delta
+        assert restored.config.use_doo == running_monitor.config.use_doo

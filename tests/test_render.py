@@ -1,0 +1,92 @@
+"""ASCII cell-map rendering."""
+
+import pytest
+
+from repro.bench.render import render_cell_map
+from repro.core import BasicCTUP, NaiveCTUP, OptCTUP
+
+
+class TestRenderCellMap:
+    def test_opt_map_dimensions(self, small_config, small_places, small_units):
+        monitor = OptCTUP(small_config, small_places, small_units)
+        monitor.initialize()
+        text = render_cell_map(monitor, legend=False)
+        lines = text.splitlines()
+        assert len(lines) == small_config.granularity
+        assert all(len(line) == small_config.granularity for line in lines)
+
+    def test_topk_cells_marked(self, small_config, small_places, small_units):
+        monitor = OptCTUP(small_config, small_places, small_units)
+        monitor.initialize()
+        text = render_cell_map(monitor, legend=False)
+        assert "!" in text
+
+    def test_basic_shows_illuminated(
+        self, small_config, small_places, small_units
+    ):
+        monitor = BasicCTUP(small_config, small_places, small_units)
+        monitor.initialize()
+        text = render_cell_map(monitor, legend=False)
+        # illuminated cells either hold a top-k place (!) or print as *.
+        assert "!" in text or "*" in text
+
+    def test_legend_included_by_default(
+        self, small_config, small_places, small_units
+    ):
+        monitor = OptCTUP(small_config, small_places, small_units)
+        monitor.initialize()
+        assert "top-k cell" in render_cell_map(monitor)
+
+    def test_naive_rejected(self, small_config, small_places, small_units):
+        monitor = NaiveCTUP(small_config, small_places, small_units)
+        monitor.initialize()
+        with pytest.raises(TypeError):
+            render_cell_map(monitor)
+
+    def test_row_zero_printed_last(self, small_config, small_units):
+        """The bottom text row is grid row j=0 (map orientation)."""
+        from repro.model import Place
+        from repro.geometry import Point
+
+        # one very unsafe place in the bottom-left cell.
+        places = [Place(0, Point(0.05, 0.05), 10)] + [
+            Place(i, Point(0.95, 0.95), 0) for i in range(1, 30)
+        ]
+        monitor = OptCTUP(
+            small_config.replace(k=1), places, small_units
+        )
+        monitor.initialize()
+        lines = render_cell_map(monitor, legend=False).splitlines()
+        assert lines[-1][0] == "!"
+
+
+class TestCliSimulate:
+    def test_simulate_command(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "simulate",
+                    "suburbia",
+                    "--updates",
+                    "120",
+                    "--places",
+                    "500",
+                    "--units",
+                    "12",
+                    "--map",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "updates" in out
+        assert "top unsafe places" in out
+        assert "top-k cell" in out
+
+    def test_simulate_unknown_scenario(self):
+        from repro.cli import main
+
+        with pytest.raises(KeyError):
+            main(["simulate", "atlantis"])

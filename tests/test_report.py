@@ -1,0 +1,55 @@
+"""The markdown report generator and its CLI command."""
+
+import pytest
+
+from repro.bench.report import generate_report
+from repro.cli import main
+
+
+class TestGenerateReport:
+    def test_subset_report(self):
+        text = generate_report(scale=0.04, experiment_ids=["table3", "fig3"])
+        assert "# CTUP reproduction" in text
+        assert "Table III" in text
+        assert "Fig. 3" in text
+        assert "Fig. 4" not in text
+        assert "| algorithm |" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(experiment_ids=["fig99"])
+
+    def test_notes_rendered_as_quotes(self):
+        text = generate_report(scale=0.04, experiment_ids=["fig3"])
+        assert "> expected shape" in text
+
+    def test_environment_header(self):
+        text = generate_report(scale=0.04, experiment_ids=["table3"])
+        assert "Python" in text
+        assert "seed 0" in text
+
+
+class TestCliReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--out", "-", "--scale", "0.04", "--only", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "measured.md"
+        assert (
+            main(
+                [
+                    "report",
+                    "--out",
+                    str(target),
+                    "--scale",
+                    "0.04",
+                    "--only",
+                    "table3",
+                ]
+            )
+            == 0
+        )
+        assert "Table III" in target.read_text()
+        assert str(target) in capsys.readouterr().out

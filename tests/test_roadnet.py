@@ -1,0 +1,178 @@
+"""Road networks and network-based moving objects."""
+
+import networkx as nx
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.roadnet import (
+    NetworkMobility,
+    RoadNetwork,
+    grid_network,
+    radial_network,
+    random_network,
+)
+from repro.roadnet.network import SPEED_OF_CLASS, network_from_points
+
+
+def tiny_network() -> RoadNetwork:
+    # a 2x2 square with one diagonal.
+    points = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+    edges = [(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0), (0, 2, 1)]
+    return network_from_points(points, edges)
+
+
+class TestRoadNetwork:
+    def test_requires_connected(self):
+        g = nx.Graph()
+        g.add_node(0, point=Point(0, 0))
+        g.add_node(1, point=Point(1, 1))
+        with pytest.raises(ValueError):
+            RoadNetwork(g)
+
+    def test_requires_points(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            RoadNetwork(g)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(nx.Graph())
+
+    def test_edge_lengths_computed(self):
+        net = tiny_network()
+        assert net.edge_length(0, 1) == pytest.approx(1.0)
+        assert net.edge_length(0, 2) == pytest.approx(2 ** 0.5)
+
+    def test_edge_speed_by_class(self):
+        net = tiny_network()
+        assert net.edge_speed(0, 1) == SPEED_OF_CLASS[0]
+        assert net.edge_speed(0, 2) == SPEED_OF_CLASS[1]
+
+    def test_bad_road_class_rejected(self):
+        points = [Point(0, 0), Point(1, 0)]
+        with pytest.raises(ValueError):
+            network_from_points(points, [(0, 1, 99)])
+
+    def test_shortest_path_prefers_fast_roads(self):
+        # 0 -> 2 directly on a class-1 road (sqrt2/2 time) beats the
+        # two class-0 edges (2 time units).
+        net = tiny_network()
+        assert net.shortest_path(0, 2) == [0, 2]
+
+    def test_bounding_rect(self):
+        rect = tiny_network().bounding_rect()
+        assert (rect.xmin, rect.ymin, rect.xmax, rect.ymax) == (0, 0, 1, 1)
+
+    def test_normalized_to(self):
+        net = tiny_network().normalized_to(Rect(0.0, 0.0, 0.5, 0.5))
+        rect = net.bounding_rect()
+        assert rect.xmax == pytest.approx(0.5)
+        assert rect.ymax == pytest.approx(0.5)
+
+    def test_random_node_member(self):
+        import random
+
+        net = tiny_network()
+        node = net.random_node(random.Random(0))
+        assert node in net.graph.nodes
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "builder", [grid_network, radial_network, random_network]
+    )
+    def test_generators_connected_and_normalised(self, builder):
+        net = builder(seed=3)
+        assert nx.is_connected(net.graph)
+        space = Rect(0.0, 0.0, 1.0, 1.0)
+        for node in net.graph.nodes:
+            assert space.contains_point(net.node_point(node))
+
+    @pytest.mark.parametrize(
+        "builder", [grid_network, radial_network, random_network]
+    )
+    def test_generators_deterministic(self, builder):
+        a = builder(seed=5)
+        b = builder(seed=5)
+        assert sorted(map(str, a.graph.edges)) == sorted(map(str, b.graph.edges))
+
+    def test_grid_size_bounds(self):
+        with pytest.raises(ValueError):
+            grid_network(rows=1, cols=5)
+
+    def test_radial_bounds(self):
+        with pytest.raises(ValueError):
+            radial_network(rings=0)
+
+    def test_random_bounds(self):
+        with pytest.raises(ValueError):
+            random_network(nodes=1)
+
+    def test_grid_has_multiple_road_classes(self):
+        net = grid_network(seed=1)
+        classes = {d["road_class"] for _, _, d in net.graph.edges(data=True)}
+        assert len(classes) >= 2
+
+
+class TestNetworkMobility:
+    def test_initial_units(self):
+        mobility = NetworkMobility(grid_network(seed=1), count=10, seed=2)
+        units = mobility.initial_units(0.1)
+        assert len(units) == 10
+        assert all(u.protection_range == 0.1 for u in units)
+
+    def test_updates_form_consistent_chain(self):
+        mobility = NetworkMobility(grid_network(seed=1), count=20, seed=2)
+        units = mobility.initial_units(0.1)
+        last = {u.unit_id: u.location for u in units}
+        for update in mobility.updates(500):
+            assert update.old_location == last[update.unit_id]
+            last[update.unit_id] = update.new_location
+
+    def test_updates_respect_report_distance(self):
+        mobility = NetworkMobility(
+            grid_network(seed=1),
+            count=10,
+            speed=0.01,
+            report_distance=0.02,
+            seed=2,
+        )
+        for update in mobility.updates(200):
+            assert update.displacement() >= 0.02 - 1e-9
+
+    def test_positions_stay_in_space(self):
+        mobility = NetworkMobility(random_network(seed=4), count=25, seed=5)
+        space = Rect(0.0, 0.0, 1.0, 1.0)
+        for update in mobility.updates(500):
+            assert space.contains_point(update.new_location)
+
+    def test_objects_travel(self):
+        mobility = NetworkMobility(grid_network(seed=1), count=5, seed=3)
+        start = {o.unit_id: o.position for o in mobility.objects}
+        list(mobility.updates(300))
+        moved = sum(
+            1
+            for o in mobility.objects
+            if o.position.distance_to(start[o.unit_id]) > 0.05
+        )
+        assert moved >= 3
+
+    def test_deterministic(self):
+        a = NetworkMobility(grid_network(seed=1), count=5, seed=3)
+        b = NetworkMobility(grid_network(seed=1), count=5, seed=3)
+        assert list(a.updates(100)) == list(b.updates(100))
+
+    def test_invalid_parameters(self):
+        net = grid_network(seed=1)
+        with pytest.raises(ValueError):
+            NetworkMobility(net, count=0)
+        with pytest.raises(ValueError):
+            NetworkMobility(net, count=1, speed=0)
+        with pytest.raises(ValueError):
+            NetworkMobility(net, count=1, report_distance=-1)
+
+    def test_timestamps_monotone(self):
+        mobility = NetworkMobility(grid_network(seed=1), count=5, seed=3)
+        times = [u.timestamp for u in mobility.updates(100)]
+        assert times == sorted(times)

@@ -1,0 +1,89 @@
+"""Unit tests for the safety kernels (Definitions 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.safety import (
+    brute_force_safeties,
+    protects,
+    safety_arrays,
+    safety_of_place,
+)
+from repro.core.units import UnitIndex
+from repro.geometry import Point
+from repro.model import Place, Unit
+
+unit_coord = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestProtects:
+    def test_inside(self):
+        assert protects(Point(0.5, 0.5), 0.1, Point(0.55, 0.5))
+
+    def test_boundary_closed(self):
+        assert protects(Point(0.0, 0.0), 0.5, Point(0.5, 0.0))
+
+    def test_outside(self):
+        assert not protects(Point(0.5, 0.5), 0.1, Point(0.7, 0.5))
+
+
+class TestSafetyOfPlace:
+    def test_counts_minus_requirement(self):
+        units = UnitIndex(
+            [
+                Unit(0, Point(0.5, 0.5), 0.1),
+                Unit(1, Point(0.52, 0.5), 0.1),
+                Unit(2, Point(0.9, 0.9), 0.1),
+            ]
+        )
+        place = Place(0, Point(0.5, 0.5), required_protection=3)
+        assert safety_of_place(units, place) == 2 - 3
+
+    def test_negative_safety(self):
+        units = UnitIndex([Unit(0, Point(0.9, 0.9), 0.05)])
+        place = Place(0, Point(0.1, 0.1), required_protection=4)
+        assert safety_of_place(units, place) == -4
+
+
+class TestVectorKernelAgreement:
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.tuples(unit_coord, unit_coord), min_size=1, max_size=8),
+        st.lists(
+            st.tuples(unit_coord, unit_coord, st.integers(0, 5)),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    def test_vectorised_matches_brute_force(self, unit_pos, place_spec):
+        units = [Unit(i, Point(x, y), 0.15) for i, (x, y) in enumerate(unit_pos)]
+        places = [
+            Place(i, Point(x, y), rp) for i, (x, y, rp) in enumerate(place_spec)
+        ]
+        index = UnitIndex(units)
+        xs = np.array([p.location.x for p in places])
+        ys = np.array([p.location.y for p in places])
+        required = np.array([p.required_protection for p in places])
+        vectorised = safety_arrays(index, xs, ys, required)
+        reference = brute_force_safeties(places, units)
+        for place, value in zip(places, vectorised):
+            assert reference[place.place_id] == value
+
+
+class TestBruteForce:
+    def test_empty_units(self):
+        places = [Place(0, Point(0.5, 0.5), 2)]
+        assert brute_force_safeties(places, []) == {0: -2.0}
+
+    def test_all_units_protect(self):
+        places = [Place(0, Point(0.5, 0.5), 1)]
+        units = [Unit(i, Point(0.5, 0.5), 0.1) for i in range(4)]
+        assert brute_force_safeties(places, units) == {0: 3.0}
+
+    def test_returns_floats(self):
+        result = brute_force_safeties(
+            [Place(0, Point(0.5, 0.5), 0)], [Unit(0, Point(0.5, 0.5), 0.1)]
+        )
+        assert isinstance(result[0], float)

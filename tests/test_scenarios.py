@@ -1,0 +1,107 @@
+"""Named scenarios and directed patrols."""
+
+import pytest
+
+from repro.core import CTUPConfig, OptCTUP
+from repro.roadnet import (
+    DirectedPatrolMobility,
+    NetworkMobility,
+    coverage_of_hotspots,
+    grid_network,
+)
+from repro.validate import Oracle
+from repro.workloads import SCENARIOS, build_scenario, generate_places
+
+
+class TestScenarioRegistry:
+    def test_expected_scenarios_present(self):
+        assert {
+            "downtown",
+            "old-town",
+            "suburbia",
+            "directed-patrol",
+        } <= set(SCENARIOS)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            build_scenario("atlantis")
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenarios_build_and_monitor(self, name):
+        world = build_scenario(
+            name, seed=3, n_places=500, n_units=20, stream_length=100
+        )
+        assert world.name == name
+        assert len(world.places) == 500
+        assert len(world.units) == 20
+        assert len(world.stream) == 100
+        config = CTUPConfig(k=5, delta=3, protection_range=0.1, granularity=8)
+        monitor = OptCTUP(config, world.places, world.units)
+        monitor.initialize()
+        oracle = Oracle(world.places, world.units)
+        for update in world.stream:
+            oracle.apply(update)
+            monitor.process(update)
+        verdict = oracle.validate(monitor.top_k(), config.k)
+        assert verdict.ok, verdict.problems
+
+    def test_scenarios_deterministic(self):
+        a = build_scenario("downtown", seed=9, n_places=100, n_units=5, stream_length=30)
+        b = build_scenario("downtown", seed=9, n_places=100, n_units=5, stream_length=30)
+        assert list(a.stream) == list(b.stream)
+        assert a.places == b.places
+
+    def test_hotspots_filter(self):
+        world = build_scenario(
+            "downtown", seed=1, n_places=2000, n_units=5, stream_length=10
+        )
+        hotspots = world.hotspots(min_required=5)
+        assert hotspots
+        assert all(p.required_protection >= 5 for p in hotspots)
+
+
+class TestDirectedPatrol:
+    @pytest.fixture
+    def network(self):
+        return grid_network(rows=10, cols=10, seed=2)
+
+    @pytest.fixture
+    def hotspots(self):
+        places = generate_places(3000, seed=4)
+        return [p for p in places if p.required_protection >= 7]
+
+    def test_requires_hotspots(self, network):
+        with pytest.raises(ValueError):
+            DirectedPatrolMobility(network, count=5, hotspots=[])
+
+    def test_bias_range_checked(self, network, hotspots):
+        with pytest.raises(ValueError):
+            DirectedPatrolMobility(
+                network, count=5, hotspots=hotspots, bias=1.5
+            )
+
+    def test_stream_is_consistent(self, network, hotspots):
+        mobility = DirectedPatrolMobility(
+            network, count=15, hotspots=hotspots, seed=6
+        )
+        last = {o.unit_id: o.reported for o in mobility.objects}
+        for update in mobility.updates(300):
+            assert update.old_location == last[update.unit_id]
+            last[update.unit_id] = update.new_location
+
+    def test_directed_patrol_covers_hotspots_better(self, network, hotspots):
+        """After settling, directed patrols sit near more hotspots."""
+        directed = DirectedPatrolMobility(
+            network, count=30, hotspots=hotspots, bias=0.9, seed=7
+        )
+        uniform = NetworkMobility(network, count=30, speed=0.004, seed=7)
+        list(directed.updates(4000))
+        list(uniform.updates(4000))
+        covered_directed = coverage_of_hotspots(directed, hotspots, 0.1)
+        covered_uniform = coverage_of_hotspots(uniform, hotspots, 0.1)
+        assert covered_directed >= covered_uniform
+
+    def test_coverage_requires_hotspots(self, network):
+        mobility = NetworkMobility(network, count=3, seed=1)
+        with pytest.raises(ValueError):
+            coverage_of_hotspots(mobility, [], 0.1)

@@ -1,0 +1,101 @@
+"""Tables I and II, checked entry by entry against the paper."""
+
+import pytest
+
+from repro.core.tables import (
+    HASH_INSERT,
+    HASH_NONE,
+    HASH_REMOVE,
+    TABLE1,
+    table1_delta,
+    table2_action,
+)
+from repro.geometry.relations import CellRelation
+
+N, P, F = (
+    CellRelation.NO_INTERSECT,
+    CellRelation.PARTIAL,
+    CellRelation.FULL,
+)
+
+
+class TestTable1:
+    """Table I: lower-bound maintenance in BasicCTUP."""
+
+    @pytest.mark.parametrize(
+        "old,new,delta",
+        [
+            (N, N, 0),  # N -> N/P: 0
+            (N, P, 0),
+            (N, F, +1),  # N -> F: +
+            (P, N, -1),  # P -> N/P: -
+            (P, P, -1),
+            (P, F, 0),  # P -> F: 0
+            (F, N, -1),  # F -> N/P: -
+            (F, P, -1),
+            (F, F, 0),  # F -> F: 0
+        ],
+    )
+    def test_entry(self, old, new, delta):
+        assert table1_delta(old, new) == delta
+
+    def test_table_is_total(self):
+        assert set(TABLE1) == {(a, b) for a in (N, P, F) for b in (N, P, F)}
+
+
+class TestTable2:
+    """Table II: lower-bound maintenance in OptCTUP (with DecHash)."""
+
+    @pytest.mark.parametrize("in_hash", [True, False])
+    @pytest.mark.parametrize(
+        "old,new",
+        [(N, N), (N, P), (F, F)],
+    )
+    def test_unchanged_cases(self, old, new, in_hash):
+        assert table2_action(old, new, in_hash) == (0, HASH_NONE)
+
+    @pytest.mark.parametrize("in_hash", [True, False])
+    def test_n_to_f_increases_and_removes(self, in_hash):
+        # "N -> F: +, h-"
+        assert table2_action(N, F, in_hash) == (+1, HASH_REMOVE)
+
+    @pytest.mark.parametrize("in_hash", [True, False])
+    @pytest.mark.parametrize("new", [N, P])
+    def test_f_to_np_decreases_and_inserts(self, new, in_hash):
+        # "F -> N/P: -, h+"
+        assert table2_action(F, new, in_hash) == (-1, HASH_INSERT)
+
+    @pytest.mark.parametrize("new", [N, P])
+    def test_p_to_np_without_pair_decreases(self, new):
+        # "P -> N/P: -, h+ (otherwise)"
+        assert table2_action(P, new, False) == (-1, HASH_INSERT)
+
+    @pytest.mark.parametrize("new", [N, P])
+    def test_p_to_np_with_pair_is_suppressed(self, new):
+        # "P -> N/P: 0 (if in hash)" — the heart of DOO.
+        assert table2_action(P, new, True) == (0, HASH_NONE)
+
+    def test_p_to_f_with_pair_increases_and_removes(self):
+        # "P -> F: +, h- (if in hash)"
+        assert table2_action(P, F, True) == (+1, HASH_REMOVE)
+
+    def test_p_to_f_without_pair_unchanged(self):
+        # "P -> F: 0 (otherwise)"
+        assert table2_action(P, F, False) == (0, HASH_NONE)
+
+    def test_every_combination_defined(self):
+        for old in (N, P, F):
+            for new in (N, P, F):
+                for in_hash in (True, False):
+                    delta, action = table2_action(old, new, in_hash)
+                    assert delta in (-1, 0, +1)
+                    assert action in (HASH_NONE, HASH_INSERT, HASH_REMOVE)
+
+    def test_table2_never_decreases_more_than_table1(self):
+        """DOO only suppresses decreases, it never adds new ones."""
+        for old in (N, P, F):
+            for new in (N, P, F):
+                for in_hash in (True, False):
+                    delta2, _ = table2_action(old, new, in_hash)
+                    delta1 = table1_delta(old, new)
+                    assert delta2 >= delta1

@@ -1,0 +1,252 @@
+"""Unit + property tests for the maintained-place table."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk import MaintainedPlaces, kth_smallest, topk_rows
+from repro.geometry import Point
+from repro.model import Place
+
+
+def place(pid: int, x: float = 0.5, y: float = 0.5, rp: int = 1) -> Place:
+    return Place(pid, Point(x, y), rp)
+
+
+def table_with(entries) -> MaintainedPlaces:
+    table = MaintainedPlaces()
+    for pid, safety in entries:
+        table.insert(place(pid), safety, cell=0)
+    return table
+
+
+class TestHelpers:
+    def test_kth_smallest_basic(self):
+        assert kth_smallest(np.array([5.0, 1.0, 3.0]), 2) == 3.0
+
+    def test_kth_smallest_not_enough_values(self):
+        assert kth_smallest(np.array([1.0]), 2) == math.inf
+
+    def test_topk_rows_tie_break_by_id(self):
+        ids = np.array([30, 10, 20], dtype=np.int64)
+        safety = np.array([1.0, 1.0, 1.0])
+        rows = topk_rows(ids, safety, 2)
+        assert ids[rows].tolist() == [10, 20]
+
+    def test_topk_rows_orders_by_safety_first(self):
+        ids = np.array([1, 2, 3], dtype=np.int64)
+        safety = np.array([3.0, -1.0, 0.0])
+        rows = topk_rows(ids, safety, 3)
+        assert ids[rows].tolist() == [2, 3, 1]
+
+    def test_topk_rows_empty(self):
+        assert len(topk_rows(np.empty(0, dtype=np.int64), np.empty(0), 5)) == 0
+
+    @settings(max_examples=100)
+    @given(st.lists(st.integers(-10, 10), min_size=1, max_size=50), st.integers(1, 10))
+    def test_topk_rows_matches_sorted(self, values, k):
+        ids = np.arange(len(values), dtype=np.int64)
+        safety = np.array(values, dtype=np.float64)
+        rows = topk_rows(ids, safety, k)
+        expected = sorted(zip(values, range(len(values))))[: min(k, len(values))]
+        assert [(safety[r], ids[r]) for r in rows.tolist()] == [
+            (float(s), i) for s, i in expected
+        ]
+
+
+class TestInsertRemove:
+    def test_insert_and_lookup(self):
+        table = table_with([(1, -2.0), (2, 0.0)])
+        assert len(table) == 2
+        assert 1 in table
+        assert table.safety_of(1) == -2.0
+        assert table.place_of(2).place_id == 2
+
+    def test_duplicate_insert_rejected(self):
+        table = table_with([(1, 0.0)])
+        with pytest.raises(ValueError):
+            table.insert(place(1), 1.0, cell=0)
+
+    def test_remove_id(self):
+        table = table_with([(1, -2.0), (2, 0.0)])
+        removed_place, safety = table.remove_id(1)
+        assert removed_place.place_id == 1
+        assert safety == -2.0
+        assert 1 not in table
+        assert len(table) == 1
+
+    def test_swap_remove_keeps_index_consistent(self):
+        table = table_with([(1, -1.0), (2, -2.0), (3, -3.0)])
+        table.remove_id(1)  # last row swaps into row 0
+        assert table.safety_of(3) == -3.0
+        assert table.safety_of(2) == -2.0
+
+    def test_remove_rows_returns_min_safety(self):
+        table = table_with([(1, -1.0), (2, -5.0), (3, 3.0)])
+        assert table.remove_rows([0, 1]) == -5.0
+
+    def test_remove_rows_empty(self):
+        table = table_with([(1, -1.0)])
+        assert table.remove_rows([]) == math.inf
+
+    def test_remove_rows_out_of_range(self):
+        table = table_with([(1, -1.0)])
+        with pytest.raises(IndexError):
+            table.remove_rows([5])
+
+    def test_bulk_removal_path(self):
+        # enough rows that the compaction path triggers.
+        table = table_with([(i, float(i)) for i in range(100)])
+        min_removed = table.remove_rows(range(10, 100))
+        assert min_removed == 10.0
+        assert len(table) == 10
+        for pid in range(10):
+            assert table.safety_of(pid) == float(pid)
+
+    def test_growth_beyond_initial_capacity(self):
+        table = table_with([(i, float(i)) for i in range(500)])
+        assert len(table) == 500
+        assert table.safety_of(499) == 499.0
+
+    def test_remove_cell(self):
+        table = MaintainedPlaces()
+        table.insert(place(1), -1.0, cell=7)
+        table.insert(place(2), -4.0, cell=7)
+        table.insert(place(3), 0.0, cell=8)
+        assert table.remove_cell(7) == -4.0
+        assert len(table) == 1
+        assert 3 in table
+
+
+class TestCellQueries:
+    def test_rows_of_cell(self):
+        table = MaintainedPlaces()
+        table.insert(place(1), 0.0, cell=3)
+        table.insert(place(2), 0.0, cell=4)
+        table.insert(place(3), 0.0, cell=3)
+        rows = table.rows_of_cell(3)
+        assert {int(table._ids[r]) for r in rows} == {1, 3}
+
+    def test_cells_present(self):
+        table = MaintainedPlaces()
+        table.insert(place(1), 0.0, cell=3)
+        table.insert(place(2), 0.0, cell=9)
+        assert table.cells_present() == {3, 9}
+
+    def test_safety_at_rows_is_copy(self):
+        table = table_with([(1, -1.0)])
+        values = table.safety_at_rows(np.array([0]))
+        values[0] = 99.0
+        assert table.safety_of(1) == -1.0
+
+
+class TestSkAndTopK:
+    def test_sk_with_enough_rows(self):
+        table = table_with([(1, -5.0), (2, -3.0), (3, 0.0)])
+        assert table.sk(2) == -3.0
+
+    def test_sk_with_too_few_rows(self):
+        table = table_with([(1, -5.0)])
+        assert table.sk(2) == math.inf
+
+    def test_top_k_order_and_tie_break(self):
+        table = table_with([(5, -1.0), (2, -1.0), (9, -3.0), (7, 4.0)])
+        result = table.top_k(3)
+        assert [(r.place_id, r.safety) for r in result] == [
+            (9, -3.0),
+            (2, -1.0),
+            (5, -1.0),
+        ]
+
+    def test_top_k_fewer_rows_than_k(self):
+        table = table_with([(1, 0.0)])
+        assert len(table.top_k(5)) == 1
+
+    def test_top_k_empty(self):
+        assert MaintainedPlaces().top_k(3) == []
+
+    def test_min_safety(self):
+        table = table_with([(1, 2.0), (2, -7.0)])
+        assert table.min_safety() == -7.0
+        assert MaintainedPlaces().min_safety() == math.inf
+
+    def test_set_safety(self):
+        table = table_with([(1, 2.0)])
+        table.set_safety(1, -9.0)
+        assert table.sk(1) == -9.0
+
+    def test_safeties_snapshot(self):
+        table = table_with([(1, 2.0), (2, -1.0)])
+        assert table.safeties_snapshot() == {1: 2.0, 2: -1.0}
+
+
+class TestApplyUnitMove:
+    def test_gain_when_entering_new_disk(self):
+        table = MaintainedPlaces()
+        table.insert(place(1, 0.5, 0.5), 0.0, cell=0)
+        table.apply_unit_move(Point(0.9, 0.9), Point(0.52, 0.5), radius=0.1)
+        assert table.safety_of(1) == 1.0
+
+    def test_loss_when_leaving_old_disk(self):
+        table = MaintainedPlaces()
+        table.insert(place(1, 0.5, 0.5), 0.0, cell=0)
+        table.apply_unit_move(Point(0.52, 0.5), Point(0.9, 0.9), radius=0.1)
+        assert table.safety_of(1) == -1.0
+
+    def test_no_change_when_inside_both(self):
+        table = MaintainedPlaces()
+        table.insert(place(1, 0.5, 0.5), 0.0, cell=0)
+        table.apply_unit_move(Point(0.52, 0.5), Point(0.48, 0.5), radius=0.1)
+        assert table.safety_of(1) == 0.0
+
+    def test_no_change_when_outside_both(self):
+        table = MaintainedPlaces()
+        table.insert(place(1, 0.5, 0.5), 0.0, cell=0)
+        table.apply_unit_move(Point(0.9, 0.9), Point(0.1, 0.9), radius=0.1)
+        assert table.safety_of(1) == 0.0
+
+    def test_returns_scanned_count(self):
+        table = table_with([(1, 0.0), (2, 0.0)])
+        assert table.apply_unit_move(Point(0, 0), Point(1, 1), 0.1) == 2
+        assert MaintainedPlaces().apply_unit_move(Point(0, 0), Point(1, 1), 0.1) == 0
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 1, allow_nan=False), st.floats(0, 1, allow_nan=False)
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.floats(0, 1, allow_nan=False),
+        st.floats(0, 1, allow_nan=False),
+        st.floats(0, 1, allow_nan=False),
+        st.floats(0, 1, allow_nan=False),
+    )
+    def test_move_matches_scalar_predicate(self, coords, ox, oy, nx_, ny_):
+        table = MaintainedPlaces()
+        for i, (x, y) in enumerate(coords):
+            table.insert(place(i, x, y), 0.0, cell=0)
+        old, new = Point(ox, oy), Point(nx_, ny_)
+        table.apply_unit_move(old, new, radius=0.2)
+        for i, (x, y) in enumerate(coords):
+            was = old.squared_distance_to(Point(x, y)) <= 0.04
+            now = new.squared_distance_to(Point(x, y)) <= 0.04
+            assert table.safety_of(i) == float(int(now) - int(was))
+
+    def test_weighted_move(self):
+        table = MaintainedPlaces()
+        table.insert(place(1, 0.5, 0.5), 0.0, cell=0)
+
+        def weight(d):
+            return np.clip(1 - d / 0.1, 0, 1)
+
+        # unit moves from distance 0.05 (w=0.5) to distance 0.025 (w=0.75)
+        table.apply_unit_move_weighted(
+            Point(0.55, 0.5), Point(0.525, 0.5), weight
+        )
+        assert table.safety_of(1) == pytest.approx(0.25)

@@ -1,0 +1,89 @@
+"""Parameter tuning heuristics and calibration."""
+
+import pytest
+
+from repro.bench import build_workload
+from repro.core import CTUPConfig
+from repro.core.tuning import DeltaChoice, choose_delta, suggest_granularity
+from repro.geometry import Rect
+
+
+class TestSuggestGranularity:
+    def test_table3_neighbourhood(self):
+        # the paper's setting: 15k places, range 0.1 -> granularity 10.
+        assert suggest_granularity(15_000, 0.1) == 10
+
+    def test_range_dominates_for_dense_sets(self):
+        # even millions of places should not shrink cells below the disk.
+        assert suggest_granularity(1_000_000, 0.1) == 10
+
+    def test_population_caps_sparse_sets(self):
+        # 500 places cannot usefully fill a 10x10 grid.
+        value = suggest_granularity(500, 0.1)
+        assert value < 10
+
+    def test_minimum_of_two(self):
+        assert suggest_granularity(5, 0.5) >= 2
+
+    def test_larger_range_coarser_grid(self):
+        fine = suggest_granularity(15_000, 0.05)
+        coarse = suggest_granularity(15_000, 0.25)
+        assert coarse < fine
+
+    def test_respects_space_extent(self):
+        wide = suggest_granularity(
+            15_000, 0.1, space=Rect(0.0, 0.0, 2.0, 2.0)
+        )
+        assert wide >= suggest_granularity(15_000, 0.1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            suggest_granularity(0, 0.1)
+        with pytest.raises(ValueError):
+            suggest_granularity(100, 0.0)
+
+
+class TestChooseDelta:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_workload(
+            n_units=25, n_places=800, stream_length=150, seed=5
+        )
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return CTUPConfig(k=5, protection_range=0.1, granularity=6)
+
+    def test_returns_candidate(self, workload, config):
+        choice = choose_delta(workload, config, candidates=(0, 4, 8))
+        assert choice.delta in (0, 4, 8)
+        assert isinstance(choice, DeltaChoice)
+
+    def test_best_has_lowest_cost(self, workload, config):
+        choice = choose_delta(workload, config, candidates=(0, 4, 8))
+        best_cost = choice.cost_of(choice.delta)
+        for delta in (0, 4, 8):
+            assert best_cost <= choice.cost_of(delta)
+
+    def test_all_candidates_measured(self, workload, config):
+        choice = choose_delta(workload, config, candidates=(0, 6))
+        assert set(choice.results) == {0, 6}
+
+    def test_wall_metric(self, workload, config):
+        choice = choose_delta(
+            workload, config, candidates=(0, 6), metric="wall"
+        )
+        assert choice.metric == "wall"
+        assert choice.cost_of(choice.delta) > 0
+
+    def test_unknown_metric_rejected(self, workload, config):
+        with pytest.raises(ValueError):
+            choose_delta(workload, config, candidates=(0,), metric="magic")
+
+    def test_empty_candidates_rejected(self, workload, config):
+        with pytest.raises(ValueError):
+            choose_delta(workload, config, candidates=())
+
+    def test_updates_prefix_respected(self, workload, config):
+        choice = choose_delta(workload, config, candidates=(4,), updates=30)
+        assert choice.results[4].n_updates == 30

@@ -1,0 +1,164 @@
+"""Unit tests for the server-side unit index."""
+
+import numpy as np
+import pytest
+
+from repro.core.units import UnitIndex
+from repro.geometry import Point, Rect
+from repro.model import LocationUpdate, Unit
+
+
+def fleet(*positions, radius=0.1):
+    return [
+        Unit(i, Point(x, y), radius) for i, (x, y) in enumerate(positions)
+    ]
+
+
+class TestConstruction:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            UnitIndex([])
+
+    def test_mixed_ranges_rejected(self):
+        units = [
+            Unit(0, Point(0.1, 0.1), 0.1),
+            Unit(1, Point(0.2, 0.2), 0.2),
+        ]
+        with pytest.raises(ValueError):
+            UnitIndex(units)
+
+    def test_duplicate_ids_rejected(self):
+        units = [Unit(0, Point(0.1, 0.1), 0.1), Unit(0, Point(0.2, 0.2), 0.1)]
+        with pytest.raises(ValueError):
+            UnitIndex(units)
+
+    def test_copies_units(self):
+        original = fleet((0.5, 0.5))
+        index = UnitIndex(original)
+        original[0].location = Point(0.9, 0.9)
+        assert index.location_of(0) == Point(0.5, 0.5)
+
+    def test_len_iter_contains(self):
+        index = UnitIndex(fleet((0.1, 0.1), (0.2, 0.2)))
+        assert len(index) == 2
+        assert [u.unit_id for u in index] == [0, 1]
+        assert 1 in index
+        assert 5 not in index
+
+
+class TestApply:
+    def test_apply_moves_unit(self):
+        index = UnitIndex(fleet((0.5, 0.5)))
+        old = index.apply(LocationUpdate(0, Point(0.5, 0.5), Point(0.6, 0.6)))
+        assert old == Point(0.5, 0.5)
+        assert index.location_of(0) == Point(0.6, 0.6)
+
+    def test_apply_unknown_unit(self):
+        index = UnitIndex(fleet((0.5, 0.5)))
+        with pytest.raises(KeyError):
+            index.apply(LocationUpdate(7, Point(0.5, 0.5), Point(0.6, 0.6)))
+
+    def test_apply_inconsistent_old_location(self):
+        index = UnitIndex(fleet((0.5, 0.5)))
+        with pytest.raises(ValueError):
+            index.apply(LocationUpdate(0, Point(0.4, 0.4), Point(0.6, 0.6)))
+
+    def test_apply_updates_vector_state(self):
+        index = UnitIndex(fleet((0.5, 0.5)))
+        index.apply(LocationUpdate(0, Point(0.5, 0.5), Point(0.9, 0.9)))
+        counts = index.ap_counts(np.array([0.9]), np.array([0.9]))
+        assert counts[0] == 1
+
+
+class TestApCounts:
+    def test_counts_match_scalar(self):
+        index = UnitIndex(fleet((0.2, 0.2), (0.25, 0.2), (0.8, 0.8)))
+        xs = np.array([0.2, 0.5, 0.8])
+        ys = np.array([0.2, 0.5, 0.8])
+        counts = index.ap_counts(xs, ys)
+        expected = [
+            index.ap_of_point(Point(x, y)) for x, y in zip(xs, ys)
+        ]
+        assert counts.tolist() == expected
+
+    def test_boundary_counts(self):
+        index = UnitIndex(fleet((0.0, 0.0), radius=0.5))
+        counts = index.ap_counts(np.array([0.5]), np.array([0.0]))
+        assert counts[0] == 1  # closed disk
+
+    def test_empty_query(self):
+        index = UnitIndex(fleet((0.2, 0.2)))
+        assert len(index.ap_counts(np.array([]), np.array([]))) == 0
+
+    def test_chunking_consistency(self):
+        # many points force the chunked path; compare with per-point.
+        index = UnitIndex(fleet(*[(i / 10, i / 10) for i in range(10)]))
+        rng = np.random.default_rng(0)
+        xs = rng.random(5000)
+        ys = rng.random(5000)
+        counts = index.ap_counts(xs, ys)
+        for i in range(0, 5000, 997):
+            assert counts[i] == index.ap_of_point(Point(xs[i], ys[i]))
+
+
+class TestApCountsNear:
+    def test_matches_full_computation(self):
+        index = UnitIndex(fleet(*[(i / 7, (i * 3 % 7) / 7) for i in range(7)]))
+        rect = Rect(0.2, 0.2, 0.4, 0.4)
+        xs = np.array([0.25, 0.3, 0.39])
+        ys = np.array([0.25, 0.35, 0.21])
+        near, compared = index.ap_counts_near(xs, ys, rect)
+        full = index.ap_counts(xs, ys)
+        assert near.tolist() == full.tolist()
+        assert compared <= len(index)
+
+    def test_excludes_unreachable_units(self):
+        index = UnitIndex(fleet((0.1, 0.1), (0.9, 0.9)))
+        rect = Rect(0.0, 0.0, 0.2, 0.2)
+        _, compared = index.ap_counts_near(np.array([0.1]), np.array([0.1]), rect)
+        assert compared == 1
+
+    def test_no_reachable_units(self):
+        index = UnitIndex(fleet((0.9, 0.9)))
+        rect = Rect(0.0, 0.0, 0.1, 0.1)
+        counts, compared = index.ap_counts_near(
+            np.array([0.05]), np.array([0.05]), rect
+        )
+        assert compared == 0
+        assert counts.tolist() == [0]
+
+
+class TestWeightedProtection:
+    def test_step_weight_equals_counting(self):
+        index = UnitIndex(fleet((0.3, 0.3), (0.35, 0.3)))
+        rect = Rect(0.25, 0.25, 0.45, 0.45)
+        xs = np.array([0.3, 0.4])
+        ys = np.array([0.3, 0.4])
+
+        def step(d):
+            return (d <= 0.1).astype(float)
+
+        weighted, _ = index.weighted_protection_near(xs, ys, rect, step)
+        counted, _ = index.ap_counts_near(xs, ys, rect)
+        assert weighted.tolist() == counted.astype(float).tolist()
+
+    def test_linear_weight_values(self):
+        index = UnitIndex(fleet((0.3, 0.3)))
+        rect = Rect(0.25, 0.25, 0.45, 0.45)
+
+        def linear(d):
+            return np.clip(1 - d / 0.1, 0, 1)
+
+        weighted, _ = index.weighted_protection_near(
+            np.array([0.3, 0.35]), np.array([0.3, 0.3]), rect, linear
+        )
+        assert weighted[0] == pytest.approx(1.0)
+        assert weighted[1] == pytest.approx(0.5)
+
+
+class TestSnapshot:
+    def test_snapshot_positions_copy(self):
+        index = UnitIndex(fleet((0.5, 0.5)))
+        snap = index.snapshot_positions()
+        index.apply(LocationUpdate(0, Point(0.5, 0.5), Point(0.9, 0.9)))
+        assert snap[0].tolist() == [0.5, 0.5]
