@@ -1,11 +1,13 @@
 """A small "monitoring server" built from the library's server features.
 
-Combines three production concerns on one OptCTUP core:
+Combines four production concerns on one shared monitor:
 
 * **many consumers** — dispatch (top-5), dashboard (top-20) and an
   analyst (top-60) share one monitor via :class:`MultiQueryCTUP`;
 * **bursty ingest** — updates arrive in batches of 32 and are absorbed
-  with one access pass per burst (:class:`BatchProcessor`);
+  with one access pass per burst by a :class:`MonitorSession`;
+* **instrumentation** — a hook counts bursts, cell accesses and result
+  changes without touching the ingest loop;
 * **restart without re-initialization** — mid-run the server
   checkpoints, "crashes", restores from the checkpoint, and continues;
   the answers after the restore are identical.
@@ -14,12 +16,31 @@ Run:  python examples/multi_query_server.py
 """
 
 from repro import CTUPConfig
-from repro.core import BatchProcessor, MultiQueryCTUP
+from repro.core import MultiQueryCTUP
+from repro.engine import MonitorHooks, MonitorSession
 from repro.persist import restore_optctup, snapshot_optctup
 from repro.roadnet import NetworkMobility, grid_network
 from repro.workloads import generate_places, record_stream
 
 BATCH = 32
+
+
+class OpsCounters(MonitorHooks):
+    """Session instrumentation: bursts, accesses, result changes."""
+
+    def __init__(self) -> None:
+        self.bursts = 0
+        self.accesses = 0
+        self.result_changes = 0
+
+    def on_batch_flush(self, updates, report):
+        self.bursts += 1
+
+    def on_refresh(self, accessed):
+        self.accesses += accessed
+
+    def on_topk_change(self, change):
+        self.result_changes += 1
 
 
 def main() -> None:
@@ -43,13 +64,17 @@ def main() -> None:
         f"(shared K = {server.shared_k})"
     )
 
-    # -- bursty ingest ---------------------------------------------------
-    ingest = BatchProcessor(server.monitor)
+    # -- bursty ingest through the engine session -----------------------
+    ops = OpsCounters()
+    session = MonitorSession(server.monitor, batch_size=BATCH, hooks=[ops])
+    session.start()  # adopts the already-initialized shared monitor
     half = len(stream) // 2
-    ingest.run_stream(stream.prefix(half), BATCH)
+    session.run(stream.prefix(half))
     print(
-        f"first {half} updates in {ingest.batches_processed} bursts of "
-        f"{BATCH}; dispatch sees {[r.place_id for r in server.top_k('dispatch')]}"
+        f"first {half} updates in {ops.bursts} bursts of {BATCH} "
+        f"({ops.accesses} cell accesses, {ops.result_changes} result "
+        f"changes); dispatch sees "
+        f"{[r.place_id for r in server.top_k('dispatch')]}"
     )
 
     # -- checkpoint, crash, restore ---------------------------------------
@@ -61,8 +86,8 @@ def main() -> None:
 
     # -- both servers consume the rest of the stream ------------------------
     rest = stream.updates[half:]
-    BatchProcessor(server.monitor).run_stream(rest, BATCH)
-    BatchProcessor(restored).run_stream(rest, BATCH)
+    session.run(rest)
+    MonitorSession(restored, batch_size=BATCH).run(rest)
     assert restored.topk_ids() == server.monitor.topk_ids()
     assert restored.sk() == server.monitor.sk()
 

@@ -15,7 +15,9 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.metrics import UpdateReport
 from repro.core.monitor import CTUPMonitor
+from repro.engine.hooks import MonitorHooks
 from repro.model import LocationUpdate
 
 
@@ -38,6 +40,27 @@ class TimelineSummary:
     update_ms_max: float
 
 
+class TimelineHook(MonitorHooks):
+    """Engine hook sampling a monitor into a :class:`Timeline`.
+
+    Attach it to a :class:`~repro.engine.session.MonitorSession` to get
+    per-update samples without owning the driving loop; in batch mode
+    every update of a burst is sampled with the burst's shared report.
+    """
+
+    def __init__(self, timeline: "Timeline", monitor: CTUPMonitor) -> None:
+        self.timeline = timeline
+        self.monitor = monitor
+
+    def on_update_end(self, update: LocationUpdate, report: UpdateReport) -> None:
+        self.timeline.sk.append(report.sk)
+        self.timeline.maintained.append(self.monitor.maintained_count())
+        self.timeline.accesses.append(report.cells_accessed)
+        self.timeline.update_seconds.append(
+            report.maintain_seconds + report.access_seconds
+        )
+
+
 @dataclass
 class Timeline:
     """Sampled per-update history of one monitor."""
@@ -52,17 +75,10 @@ class Timeline:
 
     def record(self, monitor: CTUPMonitor, updates: Iterable[LocationUpdate]) -> None:
         """Drive ``monitor`` over ``updates``, sampling after each one."""
-        maintained = getattr(monitor, "maintained", None)
+        hook = TimelineHook(self, monitor)
         for update in updates:
             report = monitor.process(update)
-            self.sk.append(monitor.sk())
-            self.maintained.append(
-                len(maintained) if maintained is not None else 0
-            )
-            self.accesses.append(report.cells_accessed)
-            self.update_seconds.append(
-                report.maintain_seconds + report.access_seconds
-            )
+            hook.on_update_end(update, report)
 
     def summary(self) -> TimelineSummary:
         """Aggregate the recorded run."""

@@ -17,11 +17,9 @@ Per location update (§III-C):
 from __future__ import annotations
 
 import math
-import time
 from typing import Iterable, Sequence
 
 from repro.core.config import CTUPConfig
-from repro.core.metrics import InitReport, UpdateReport
 from repro.core.monitor import CTUPMonitor
 from repro.core.tables import table1_delta
 from repro.core.topk import MaintainedPlaces
@@ -51,9 +49,7 @@ class BasicCTUP(CTUPMonitor):
 
     # -- initialization (§III-B) -----------------------------------------
 
-    def initialize(self) -> InitReport:
-        self._require_not_initialized()
-        start = time.perf_counter()
+    def _build_initial_state(self) -> None:
         for cell in self.store.occupied_cells():
             arrays = self.store.cell_arrays(cell)
             ap, compared = self.units.ap_counts_near(
@@ -74,22 +70,10 @@ class BasicCTUP(CTUPMonitor):
             if self.sk() <= self.cell_states[cell].lower_bound:
                 break
             self._illuminate(cell)
-        elapsed = time.perf_counter() - start
-        self.counters.time_init_s = elapsed
-        self._initialized = True
-        return InitReport(
-            seconds=elapsed,
-            cells_accessed=self.counters.cells_accessed,
-            places_loaded=self.counters.places_loaded,
-            sk=self.sk(),
-            maintained_places=len(self.maintained),
-        )
 
     # -- update (§III-C) --------------------------------------------------
 
-    def process(self, update: LocationUpdate) -> UpdateReport:
-        self._require_initialized()
-        start = time.perf_counter()
+    def _apply(self, update: LocationUpdate) -> None:
         old = self.units.apply(update)
         new = update.new_location
         radius = self.config.protection_range
@@ -102,28 +86,13 @@ class BasicCTUP(CTUPMonitor):
 
         # Step 2: Table I on every affected dark cell.
         self._adjust_dark_bounds(old, new, radius)
-        mid = time.perf_counter()
 
+    def _refresh(self) -> int:
         # Step 3: illuminate dark cells whose bound fell below SK.
         accessed = self._illuminate_below_sk()
-
         # Step 4: darken illuminated cells that hold no top-k place.
         self._darken_unneeded()
-        end = time.perf_counter()
-
-        self.counters.updates_processed += 1
-        self.counters.time_maintain_s += mid - start
-        self.counters.time_access_s += end - mid
-        self.counters.maintained_peak = max(
-            self.counters.maintained_peak, len(self.maintained)
-        )
-        return UpdateReport(
-            unit_id=update.unit_id,
-            sk=self.sk(),
-            cells_accessed=accessed,
-            maintain_seconds=mid - start,
-            access_seconds=end - mid,
-        )
+        return accessed
 
     def _adjust_dark_bounds(self, old: Point, new: Point, radius: float) -> None:
         old_disk = Circle(old, radius)

@@ -1,35 +1,42 @@
 """Batch update processing.
 
 Location updates arrive in bursts — one wireless poll cycle can deliver
-dozens. Processing them one by one runs the access loop (§IV-E step 3)
-after *every* message even though the answer is only read after the
-burst. :class:`BatchProcessor` applies a whole batch's cheap work first
-(maintained-safety adjustments and Table II bound maintenance, which
-commute across updates) and runs the access loop once at the end.
+dozens. Processing them one by one runs the access phase after *every*
+message even though the answer is only read after the burst.
+:class:`BatchProcessor` applies a whole batch's maintain phase first
+(``apply_update`` calls commute across updates) and runs one
+``refresh()`` at the end.
 
-This is exact, not approximate: bound maintenance is per-update sound
-regardless of when cells are accessed, and the final access loop
-restores the "no bound below SK" invariant before any result is read.
-What changes is the cost — a cell whose bound dips below SK and
-recovers within one burst (a unit passing by) is never touched.
+This works for **any** :class:`~repro.core.monitor.CTUPMonitor` through
+the public phase API — OptCTUP skips redundant cell accesses, BasicCTUP
+skips redundant illuminate/darken churn, and the naïve scheme collapses
+N full recomputations into one.
+
+It is exact, not approximate: maintain-phase work is per-update sound
+regardless of when the access phase runs, and the final ``refresh()``
+restores the result invariant before any answer is read. What changes
+is the cost — a cell whose bound dips below SK and recovers within one
+burst (a unit passing by) is never touched.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, Sequence
 
 from repro.core.metrics import UpdateReport
-from repro.core.opt import OptCTUP
+from repro.core.monitor import CTUPMonitor
 from repro.model import LocationUpdate
 
 
 class BatchProcessor:
-    """Exact burst processing on top of an OptCTUP monitor."""
+    """Exact burst processing on top of any CTUP monitor."""
 
-    def __init__(self, monitor: OptCTUP) -> None:
-        if not isinstance(monitor, OptCTUP):
-            raise TypeError("batch processing is defined for OptCTUP")
+    def __init__(self, monitor: CTUPMonitor) -> None:
+        if not isinstance(monitor, CTUPMonitor):
+            raise TypeError(
+                "batch processing requires a CTUPMonitor, got "
+                f"{type(monitor).__name__}"
+            )
         self.monitor = monitor
         self.batches_processed = 0
         self.updates_processed = 0
@@ -40,54 +47,49 @@ class BatchProcessor:
         Returns one report covering the whole batch (its ``unit_id`` is
         the last update's).
         """
-        monitor = self.monitor
-        monitor._require_initialized()
         if not updates:
             raise ValueError("empty batch")
-        start = time.perf_counter()
-        radius = monitor.config.protection_range
+        monitor = self.monitor
+        counters = monitor.counters
+        maintain_before = counters.time_maintain_s
+        access_before = counters.time_access_s
         for update in updates:
-            old = monitor.units.apply(update)
-            new = update.new_location
-            scanned = monitor.maintained.apply_unit_move(old, new, radius)
-            monitor.counters.maintained_scans += scanned
-            monitor.counters.distance_rows += 2 * scanned
-            monitor._adjust_bounds(update.unit_id, old, new, radius)
-        mid = time.perf_counter()
-        accessed = monitor._access_below_sk()
-        end = time.perf_counter()
-
-        monitor.counters.updates_processed += len(updates)
-        monitor.counters.time_maintain_s += mid - start
-        monitor.counters.time_access_s += end - mid
-        monitor.counters.maintained_peak = max(
-            monitor.counters.maintained_peak, len(monitor.maintained)
-        )
+            monitor.apply_update(update)
+        accessed = monitor.refresh()
         self.batches_processed += 1
         self.updates_processed += len(updates)
         return UpdateReport(
             unit_id=updates[-1].unit_id,
             sk=monitor.sk(),
             cells_accessed=accessed,
-            maintain_seconds=mid - start,
-            access_seconds=end - mid,
+            maintain_seconds=counters.time_maintain_s - maintain_before,
+            access_seconds=counters.time_access_s - access_before,
         )
 
     def run_stream(
-        self, updates: Iterable[LocationUpdate], batch_size: int
-    ) -> int:
-        """Chop a stream into fixed-size batches and process them all."""
+        self,
+        updates: Iterable[LocationUpdate],
+        batch_size: int,
+        collect: bool = False,
+    ) -> int | list[UpdateReport]:
+        """Chop a stream into fixed-size batches and process them all.
+
+        Returns the number of updates consumed, or the per-batch
+        :class:`UpdateReport` list when ``collect`` is set (matching
+        ``CTUPMonitor.run_stream`` ergonomics).
+        """
         if batch_size <= 0:
             raise ValueError("batch size must be positive")
+        reports: list[UpdateReport] = []
         pending: list[LocationUpdate] = []
         count = 0
         for update in updates:
             pending.append(update)
             if len(pending) == batch_size:
-                self.process_batch(pending)
+                reports.append(self.process_batch(pending))
                 count += len(pending)
                 pending = []
         if pending:
-            self.process_batch(pending)
+            reports.append(self.process_batch(pending))
             count += len(pending)
-        return count
+        return reports if collect else count

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.metrics import InitReport
 from repro.core.monitor import CTUPMonitor
 from repro.model import LocationUpdate, SafetyRecord
 
@@ -49,9 +50,23 @@ class ChangeTracker:
         """Register a callback invoked once per changed result."""
         self._subscribers.append(callback)
 
-    def initialize(self) -> None:
-        """Initialize the monitor and remember the first result."""
-        self.monitor.initialize()
+    def initialize(self) -> InitReport:
+        """Initialize the monitor and remember the first result.
+
+        Returns the monitor's :class:`InitReport` so callers don't have
+        to re-derive the initialization cost.
+        """
+        report = self.monitor.initialize()
+        self.prime()
+        return report
+
+    def prime(self) -> None:
+        """Snapshot the current result as the diffing baseline.
+
+        For attaching a tracker to a monitor that is already running
+        (restored from a checkpoint, driven elsewhere) without replaying
+        its history as one giant change.
+        """
         self._last = {r.place_id: r for r in self.monitor.top_k()}
         self._last_sk = self.monitor.sk()
 

@@ -14,13 +14,12 @@ alone.
 from __future__ import annotations
 
 import math
-import time
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.config import CTUPConfig
-from repro.core.metrics import InitReport, UpdateReport
+from repro.core.metrics import InitReport
 from repro.core.monitor import CTUPMonitor
 from repro.core.topk import kth_smallest, topk_rows
 from repro.model import LocationUpdate, Place, SafetyRecord, Unit
@@ -43,12 +42,12 @@ class IncrementalNaiveCTUP(CTUPMonitor):
         self._ys = np.empty(0, dtype=np.float64)
         self._safety = np.empty(0, dtype=np.float64)
         self._place_by_id: dict[int, Place] = {}
+        self._init_cells = 0
 
-    def initialize(self) -> InitReport:
-        self._require_not_initialized()
-        start = time.perf_counter()
+    def _build_initial_state(self) -> None:
         ids, xs, ys, required = [], [], [], []
         cells = self.store.occupied_cells()
+        self._init_cells = len(cells)
         for cell in cells:
             places, arrays = self.store.read_cell_with_arrays(cell)
             ids.append(arrays.ids)
@@ -66,20 +65,17 @@ class IncrementalNaiveCTUP(CTUPMonitor):
             self._safety = ap.astype(np.float64) - req
             self.counters.distance_rows += len(self._ids) * len(self.units)
         self.counters.places_loaded += len(self._ids)
-        elapsed = time.perf_counter() - start
-        self.counters.time_init_s = elapsed
-        self._initialized = True
+
+    def _init_report(self, elapsed: float) -> InitReport:
         return InitReport(
             seconds=elapsed,
-            cells_accessed=len(cells),
+            cells_accessed=self._init_cells,
             places_loaded=len(self._ids),
             sk=self.sk(),
             maintained_places=len(self._ids),
         )
 
-    def process(self, update: LocationUpdate) -> UpdateReport:
-        self._require_initialized()
-        start = time.perf_counter()
+    def _apply(self, update: LocationUpdate) -> None:
         old = self.units.apply(update)
         new = update.new_location
         r2 = self.config.protection_range ** 2
@@ -90,17 +86,13 @@ class IncrementalNaiveCTUP(CTUPMonitor):
         dyn = self._ys - new.y
         now = dxn * dxn + dyn * dyn <= r2
         self._safety += now.astype(np.float64) - was.astype(np.float64)
-        elapsed = time.perf_counter() - start
-        self.counters.updates_processed += 1
-        self.counters.time_maintain_s += elapsed
         self.counters.maintained_scans += len(self._ids)
         # two distance evaluations (old, new) per place:
         self.counters.distance_rows += 2 * len(self._ids)
-        return UpdateReport(
-            unit_id=update.unit_id,
-            sk=self.sk(),
-            maintain_seconds=elapsed,
-        )
+
+    def _refresh(self) -> int:
+        # the full table is always exact — nothing to access.
+        return 0
 
     def top_k(self) -> list[SafetyRecord]:
         rows = topk_rows(self._ids, self._safety, self.config.k)

@@ -9,11 +9,29 @@ structures the concrete scheme needs. Driving a monitor is always:
 >>> for update in stream:
 ...     monitor.process(update)   # §III-C / §IV-E
 ...     monitor.top_k()           # the continuously monitored answer
+
+Internally every scheme's update handling splits into two phases that
+the base class composes (and times, and counts — the bookkeeping lives
+here once, not in every scheme):
+
+* the **maintain phase** ``_apply(update)`` — absorb one unit move into
+  the cheap state (maintained safeties, cell bounds). Applications of
+  several updates commute: bounds stay sound no matter when the access
+  phase runs, which is what makes burst processing exact;
+* the **access phase** ``_refresh()`` — do whatever storage accesses are
+  needed to restore the scheme's result invariant ("no bound below SK"),
+  after which ``top_k()`` / ``sk()`` are current.
+
+``process()`` runs both phases per update. The engine layers
+(:mod:`repro.core.batch`, :mod:`repro.engine`) instead call the public
+``apply_update()`` / ``refresh()`` pair to defer the access phase to the
+end of a burst — for *any* scheme, without touching its internals.
 """
 
 from __future__ import annotations
 
 import abc
+import time
 from typing import Iterable, Sequence
 
 from repro.core.config import CTUPConfig
@@ -56,15 +74,31 @@ class CTUPMonitor(abc.ABC):
         self.counters = MonitorCounters()
         self._initialized = False
 
-    # -- contract -------------------------------------------------------
+    # -- scheme hooks (the phase API) -----------------------------------
 
     @abc.abstractmethod
-    def initialize(self) -> InitReport:
-        """Build the initial monitoring state (executed only once)."""
+    def _build_initial_state(self) -> None:
+        """Construct the initial monitoring state (§III-B / §IV-D).
+
+        Runs exactly once, inside the timing scope owned by
+        ``initialize()``. Must leave ``top_k()`` / ``sk()`` answerable.
+        """
 
     @abc.abstractmethod
-    def process(self, update: LocationUpdate) -> UpdateReport:
-        """Absorb one location update, keeping the top-k result current."""
+    def _apply(self, update: LocationUpdate) -> None:
+        """Maintain phase: absorb one unit move into the cheap state.
+
+        Must commute with other ``_apply`` calls — no storage access, no
+        reliance on the result invariant holding mid-burst.
+        """
+
+    @abc.abstractmethod
+    def _refresh(self) -> int:
+        """Access phase: restore the result invariant.
+
+        Returns the number of cells accessed. After it returns,
+        ``top_k()`` and ``sk()`` reflect every applied update.
+        """
 
     @abc.abstractmethod
     def top_k(self) -> list[SafetyRecord]:
@@ -82,7 +116,82 @@ class CTUPMonitor(abc.ABC):
     def sk(self) -> float:
         """The safety of the k-th unsafe place (``+inf`` if |P| < k)."""
 
+    # -- lifecycle (base owns timing and counters) ----------------------
+
+    def initialize(self) -> InitReport:
+        """Build the initial monitoring state (executed only once)."""
+        self._require_not_initialized()
+        start = time.perf_counter()
+        self._build_initial_state()
+        elapsed = time.perf_counter() - start
+        self.counters.time_init_s = elapsed
+        self._initialized = True
+        return self._init_report(elapsed)
+
+    def _init_report(self, elapsed: float) -> InitReport:
+        """Assemble the ``InitReport``; schemes whose counters do not
+        include initialization work override this."""
+        return InitReport(
+            seconds=elapsed,
+            cells_accessed=self.counters.cells_accessed,
+            places_loaded=self.counters.places_loaded,
+            sk=self.sk(),
+            maintained_places=self.maintained_count(),
+        )
+
+    def apply_update(self, update: LocationUpdate) -> None:
+        """Run the maintain phase for one update (public phase API).
+
+        The result invariant may be stale afterwards — call ``refresh()``
+        before reading ``top_k()`` / ``sk()``. Several ``apply_update``
+        calls followed by one ``refresh()`` are exactly equivalent to
+        processing each update individually, minus the intermediate
+        storage accesses.
+        """
+        self._require_initialized()
+        start = time.perf_counter()
+        self._apply(update)
+        self.counters.updates_processed += 1
+        self.counters.time_maintain_s += time.perf_counter() - start
+
+    def refresh(self) -> int:
+        """Run the access phase (public phase API); returns cells accessed."""
+        self._require_initialized()
+        start = time.perf_counter()
+        accessed = self._refresh()
+        self.counters.time_access_s += time.perf_counter() - start
+        self.counters.maintained_peak = max(
+            self.counters.maintained_peak, self.maintained_count()
+        )
+        return accessed
+
+    def process(self, update: LocationUpdate) -> UpdateReport:
+        """Absorb one location update, keeping the top-k result current."""
+        self._require_initialized()
+        maintain_before = self.counters.time_maintain_s
+        access_before = self.counters.time_access_s
+        self.apply_update(update)
+        accessed = self.refresh()
+        return UpdateReport(
+            unit_id=update.unit_id,
+            sk=self.sk(),
+            cells_accessed=accessed,
+            maintain_seconds=self.counters.time_maintain_s - maintain_before,
+            access_seconds=self.counters.time_access_s - access_before,
+        )
+
     # -- shared helpers --------------------------------------------------
+
+    @property
+    def initialized(self) -> bool:
+        """Whether ``initialize()`` has completed (or state was restored)."""
+        return self._initialized
+
+    def maintained_count(self) -> int:
+        """Places currently held with exact safeties (0 if the scheme
+        keeps none in memory)."""
+        maintained = getattr(self, "maintained", None)
+        return len(maintained) if maintained is not None else 0
 
     def _require_initialized(self) -> None:
         if not self._initialized:
@@ -98,8 +207,18 @@ class CTUPMonitor(abc.ABC):
         """Place ids of the current result (convenience for tests)."""
         return [record.place_id for record in self.top_k()]
 
-    def run_stream(self, updates: Iterable[LocationUpdate]) -> int:
-        """Process a whole stream; returns the number of updates consumed."""
+    def run_stream(
+        self,
+        updates: Iterable[LocationUpdate],
+        collect: bool = False,
+    ) -> int | list[UpdateReport]:
+        """Process a whole stream.
+
+        Returns the number of updates consumed, or the per-update
+        :class:`UpdateReport` list when ``collect`` is set.
+        """
+        if collect:
+            return [self.process(update) for update in updates]
         count = 0
         for update in updates:
             self.process(update)

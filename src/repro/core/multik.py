@@ -6,11 +6,15 @@ Running one monitor per query multiplies all maintenance work.
 
 Following the K-slack idea of Yi et al. [25] (maintain a top-K view for
 ``K >= k`` and serve smaller queries from it), :class:`MultiQueryCTUP`
-runs a single OptCTUP instance at ``K = max(k_i)`` and answers each
+runs a single shared monitor at ``K = max(k_i)`` and answers each
 registered query from a prefix of the shared result. This is exact:
 ``SK(k) <= SK(K)`` for ``k <= K``, so every place a smaller query needs
 is maintained by the larger one, and the shared result is sorted with
 deterministic tie-breaking.
+
+Any scheme implementing the :class:`~repro.core.monitor.CTUPMonitor`
+contract can back the shared view — pass ``monitor_factory`` (default
+:class:`~repro.core.opt.OptCTUP`); only the contract methods are used.
 
 Registering a query with ``k > K`` after initialization rebuilds the
 inner monitor at the new maximum — the analogue of [25]'s "refill", paid
@@ -19,30 +23,37 @@ only when the registered maximum actually grows.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.core.config import CTUPConfig
 from repro.core.metrics import UpdateReport
+from repro.core.monitor import CTUPMonitor
 from repro.core.opt import OptCTUP
 from repro.model import LocationUpdate, Place, SafetyRecord, Unit
 
+MonitorFactory = Callable[
+    [CTUPConfig, Sequence[Place], Sequence[Unit]], CTUPMonitor
+]
+
 
 class MultiQueryCTUP:
-    """One shared OptCTUP serving many registered top-k queries."""
+    """One shared CTUP monitor serving many registered top-k queries."""
 
     def __init__(
         self,
         config: CTUPConfig,
         places: Sequence[Place],
         units: Iterable[Unit],
+        monitor_factory: MonitorFactory = OptCTUP,
     ) -> None:
         self._config = config
         self._places = list(places)
         self._initial_units = [
             Unit(u.unit_id, u.location, u.protection_range) for u in units
         ]
+        self._factory = monitor_factory
         self._queries: dict[str, int] = {}
-        self._monitor: OptCTUP | None = None
+        self._monitor: CTUPMonitor | None = None
         self._rebuilds = 0
 
     # -- query registry ---------------------------------------------------
@@ -95,8 +106,8 @@ class MultiQueryCTUP:
             raise RuntimeError("register at least one query first")
         self._monitor = self._build(max(self._queries.values()))
 
-    def _build(self, k: int) -> OptCTUP:
-        monitor = OptCTUP(
+    def _build(self, k: int) -> CTUPMonitor:
+        monitor = self._factory(
             self._config.replace(k=k), self._places, self._current_units()
         )
         monitor.initialize()
@@ -120,6 +131,18 @@ class MultiQueryCTUP:
             raise RuntimeError("initialize() must be called before processing")
         return self._monitor.process(update)
 
+    def apply_update(self, update: LocationUpdate) -> None:
+        """Maintain phase of the shared monitor (for burst ingest)."""
+        if self._monitor is None:
+            raise RuntimeError("initialize() must be called before processing")
+        self._monitor.apply_update(update)
+
+    def refresh(self) -> int:
+        """Access phase of the shared monitor (for burst ingest)."""
+        if self._monitor is None:
+            raise RuntimeError("initialize() must be called before processing")
+        return self._monitor.refresh()
+
     # -- answers -------------------------------------------------------------
 
     def top_k(self, query_id: str) -> list[SafetyRecord]:
@@ -141,7 +164,7 @@ class MultiQueryCTUP:
         return records[-1].safety
 
     @property
-    def monitor(self) -> OptCTUP:
+    def monitor(self) -> CTUPMonitor:
         """The shared inner monitor (for counters/diagnostics)."""
         if self._monitor is None:
             raise RuntimeError("initialize() has not run yet")

@@ -6,18 +6,21 @@ like the proposed schemes — only compares each cell's places against the
 units whose protection region can reach the cell; that keeps the
 comparison fair (all three schemes share one safety kernel) while the
 naïve scheme still does O(|P|) work and a full storage scan per update.
+
+Under the phase API the maintain phase is just the unit move and the
+whole recomputation is the access phase — so burst processing (defer
+``refresh()`` to the end of a batch) collapses N full scans into one.
 """
 
 from __future__ import annotations
 
 import math
-import time
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.config import CTUPConfig
-from repro.core.metrics import InitReport, UpdateReport
+from repro.core.metrics import InitReport
 from repro.core.monitor import CTUPMonitor
 from repro.core.topk import kth_smallest, topk_rows
 from repro.geometry import Rect
@@ -41,9 +44,7 @@ class NaiveCTUP(CTUPMonitor):
         #: per-cell recomputation plan: (cell id, rect, row range).
         self._plan: list[tuple[object, Rect, int, int]] = []
 
-    def initialize(self) -> InitReport:
-        self._require_not_initialized()
-        start = time.perf_counter()
+    def _build_initial_state(self) -> None:
         ids = []
         row = 0
         for cell in self.store.occupied_cells():
@@ -58,9 +59,10 @@ class NaiveCTUP(CTUPMonitor):
             self._ids = np.concatenate(ids)
         self._safety = np.empty(len(self._ids), dtype=np.float64)
         self._recompute()
-        elapsed = time.perf_counter() - start
-        self.counters.time_init_s = elapsed
-        self._initialized = True
+
+    def _init_report(self, elapsed: float) -> InitReport:
+        # the naïve counters charge the initial scan as a plain
+        # recomputation, not as cell accesses; report the true figures.
         return InitReport(
             seconds=elapsed,
             cells_accessed=len(self._plan),
@@ -76,21 +78,13 @@ class NaiveCTUP(CTUPMonitor):
             self.counters.distance_rows += (hi - lo) * compared
         self.counters.places_loaded += len(self._ids)
 
-    def process(self, update: LocationUpdate) -> UpdateReport:
-        self._require_initialized()
-        start = time.perf_counter()
+    def _apply(self, update: LocationUpdate) -> None:
         self.units.apply(update)
+
+    def _refresh(self) -> int:
         self._recompute()
-        elapsed = time.perf_counter() - start
-        self.counters.updates_processed += 1
-        self.counters.time_access_s += elapsed
         self.counters.cells_accessed += len(self._plan)
-        return UpdateReport(
-            unit_id=update.unit_id,
-            sk=self.sk(),
-            cells_accessed=len(self._plan),
-            access_seconds=elapsed,
-        )
+        return len(self._plan)
 
     def top_k(self) -> list[SafetyRecord]:
         rows = topk_rows(self._ids, self._safety, self.config.k)

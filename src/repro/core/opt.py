@@ -20,14 +20,12 @@ then follow Table I), which is exactly the ablation of Fig. 8.
 from __future__ import annotations
 
 import math
-import time
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.config import CTUPConfig
 from repro.core.dechash import DecHash
-from repro.core.metrics import InitReport, UpdateReport
 from repro.core.monitor import CTUPMonitor
 from repro.core.tables import (
     HASH_INSERT,
@@ -76,9 +74,7 @@ class OptCTUP(CTUPMonitor):
 
     # -- initialization (§IV-D) -------------------------------------------
 
-    def initialize(self) -> InitReport:
-        self._require_not_initialized()
-        start = time.perf_counter()
+    def _build_initial_state(self) -> None:
         # Step 1: exact per-cell minima become the initial bounds.
         for cell in self.store.occupied_cells():
             arrays = self.store.cell_arrays(cell)
@@ -132,16 +128,6 @@ class OptCTUP(CTUPMonitor):
                     self.maintained.insert(place, float(safety), linear)
         # Step 4 of the paper: DecHash starts empty.
         self.dechash.clear()
-        elapsed = time.perf_counter() - start
-        self.counters.time_init_s = elapsed
-        self._initialized = True
-        return InitReport(
-            seconds=elapsed,
-            cells_accessed=self.counters.cells_accessed,
-            places_loaded=self.counters.places_loaded,
-            sk=self.sk(),
-            maintained_places=len(self.maintained),
-        )
 
     def _running_sk(self, scratch: list[np.ndarray]) -> float:
         """The SK estimate during initialisation's access loop.
@@ -155,9 +141,7 @@ class OptCTUP(CTUPMonitor):
 
     # -- update (§IV-E) -----------------------------------------------------
 
-    def process(self, update: LocationUpdate) -> UpdateReport:
-        self._require_initialized()
-        start = time.perf_counter()
+    def _apply(self, update: LocationUpdate) -> None:
         old = self.units.apply(update)
         new = update.new_location
         radius = self.config.protection_range
@@ -171,25 +155,10 @@ class OptCTUP(CTUPMonitor):
         # Step 2: Table II (Table I when DOO is disabled) on every cell
         # intersecting the old or new protection region.
         self._adjust_bounds(update.unit_id, old, new, radius)
-        mid = time.perf_counter()
 
+    def _refresh(self) -> int:
         # Step 3: access every cell whose bound fell below SK.
-        accessed = self._access_below_sk()
-        end = time.perf_counter()
-
-        self.counters.updates_processed += 1
-        self.counters.time_maintain_s += mid - start
-        self.counters.time_access_s += end - mid
-        self.counters.maintained_peak = max(
-            self.counters.maintained_peak, len(self.maintained)
-        )
-        return UpdateReport(
-            unit_id=update.unit_id,
-            sk=self.sk(),
-            cells_accessed=accessed,
-            maintain_seconds=mid - start,
-            access_seconds=end - mid,
-        )
+        return self._access_below_sk()
 
     def _adjust_bounds(
         self, unit_id: int, old: Point, new: Point, radius: float

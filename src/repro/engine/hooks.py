@@ -1,0 +1,84 @@
+"""The monitoring-engine hook protocol.
+
+Production concerns — metrics export, alert fan-out, per-update
+timelines, replication shipping — should not require editing a monitor
+or re-implementing the driving loop. A :class:`MonitorHooks` object
+plugs into a :class:`~repro.engine.session.MonitorSession` and is called
+at well-defined points of the update pipeline:
+
+* ``on_update_start(update)`` — an update entered the session (before
+  any work; in batch mode, before it is buffered);
+* ``on_refresh(accessed)`` — an access phase ran (once per processed
+  update in single mode, once per flushed burst in batch mode);
+* ``on_update_end(update, report)`` — the update's work is complete and
+  the result reflects it; in batch mode this fires once per update of
+  the flushed burst, with the burst's shared report;
+* ``on_batch_flush(updates, report)`` — a burst was flushed (batch mode
+  only), after its ``on_update_end`` calls;
+* ``on_topk_change(change)`` — the result moved (after ``on_update_end``
+  / ``on_batch_flush``).
+
+All methods are no-ops by default; subclasses override what they need.
+Hooks run synchronously on the ingest path — keep them cheap, or hand
+off to a queue.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.events import TopKChange
+from repro.core.metrics import UpdateReport
+from repro.model import LocationUpdate
+
+
+class MonitorHooks:
+    """Base class for engine instrumentation (no-op defaults)."""
+
+    def on_update_start(self, update: LocationUpdate) -> None:
+        """An update entered the session, before any work."""
+
+    def on_update_end(self, update: LocationUpdate, report: UpdateReport) -> None:
+        """The update's work is complete; the result reflects it."""
+
+    def on_batch_flush(
+        self, updates: Sequence[LocationUpdate], report: UpdateReport
+    ) -> None:
+        """A burst was flushed through the monitor (batch mode only)."""
+
+    def on_topk_change(self, change: TopKChange) -> None:
+        """The top-k result (or SK) moved."""
+
+    def on_refresh(self, accessed: int) -> None:
+        """An access phase completed, touching ``accessed`` cells."""
+
+
+class HookList(MonitorHooks):
+    """Fans every event out to an ordered list of hooks."""
+
+    def __init__(self, hooks: Sequence[MonitorHooks] = ()) -> None:
+        self.hooks: list[MonitorHooks] = list(hooks)
+
+    def add(self, hook: MonitorHooks) -> None:
+        """Append a hook (events fire in registration order)."""
+        self.hooks.append(hook)
+
+    def on_update_start(self, update):
+        for hook in self.hooks:
+            hook.on_update_start(update)
+
+    def on_update_end(self, update, report):
+        for hook in self.hooks:
+            hook.on_update_end(update, report)
+
+    def on_batch_flush(self, updates, report):
+        for hook in self.hooks:
+            hook.on_batch_flush(updates, report)
+
+    def on_topk_change(self, change):
+        for hook in self.hooks:
+            hook.on_topk_change(change)
+
+    def on_refresh(self, accessed):
+        for hook in self.hooks:
+            hook.on_refresh(accessed)

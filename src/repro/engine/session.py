@@ -1,0 +1,152 @@
+"""The monitoring-session facade.
+
+``sim.py``, the examples, the persistence demo and the bench timeline
+all used to hand-roll the same plumbing: initialize the monitor, track
+result changes, maybe batch the ingest, maybe audit periodically.
+:class:`MonitorSession` wires those layers once, around **any** scheme:
+
+>>> session = MonitorSession(monitor, batch_size=32, audit_every=500)
+>>> session.start()                 # InitReport (None if restored)
+>>> for update in stream:
+...     session.feed(update)
+>>> session.flush()                 # drain a partial burst
+>>> session.monitor.top_k()
+
+Instrumentation attaches through :class:`~repro.engine.hooks.MonitorHooks`
+objects rather than by editing the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.audit import audit_monitor
+from repro.core.batch import BatchProcessor
+from repro.core.events import ChangeTracker
+from repro.core.metrics import InitReport, UpdateReport
+from repro.core.monitor import CTUPMonitor
+from repro.engine.hooks import HookList, MonitorHooks
+from repro.model import LocationUpdate
+
+
+class MonitorSession:
+    """A monitor plus batching, change tracking, audits and hooks."""
+
+    def __init__(
+        self,
+        monitor: CTUPMonitor,
+        *,
+        batch_size: int = 0,
+        audit_every: int = 0,
+        hooks: Sequence[MonitorHooks] = (),
+    ) -> None:
+        """``batch_size`` > 0 buffers updates and flushes them through
+        the phase API as exact bursts; 0 processes one by one.
+        ``audit_every`` > 0 runs the invariant auditor every that many
+        updates (it costs a brute-force pass — useful in soak tests,
+        off by default)."""
+        if batch_size < 0:
+            raise ValueError("batch_size cannot be negative")
+        if audit_every < 0:
+            raise ValueError("audit_every cannot be negative")
+        self.monitor = monitor
+        self.batch_size = batch_size
+        self.audit_every = audit_every
+        self.tracker = ChangeTracker(monitor)
+        self.hooks = HookList(hooks)
+        self.audit_problems: list[str] = []
+        self.updates_processed = 0
+        self.init_report: InitReport | None = None
+        self._batcher = BatchProcessor(monitor) if batch_size else None
+        self._pending: list[LocationUpdate] = []
+        self._started = False
+
+    # -- wiring -----------------------------------------------------------
+
+    def add_hook(self, hook: MonitorHooks) -> None:
+        """Attach an instrumentation hook (fires in registration order)."""
+        self.hooks.add(hook)
+
+    @property
+    def started(self) -> bool:
+        """Whether ``start()`` has run."""
+        return self._started
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> InitReport | None:
+        """Initialize the monitor (or adopt an already-running one).
+
+        Returns the :class:`InitReport`, or ``None`` when the monitor
+        was already initialized (e.g. restored from a checkpoint) — the
+        tracker is then primed on the current result instead.
+        """
+        if self._started:
+            raise RuntimeError("session already started")
+        if self.monitor.initialized:
+            self.tracker.prime()
+        else:
+            self.init_report = self.tracker.initialize()
+        self._started = True
+        return self.init_report
+
+    def feed(self, update: LocationUpdate) -> UpdateReport | None:
+        """Ingest one update.
+
+        In single mode, processes it and returns its report. In batch
+        mode, buffers it and returns the burst report when the buffer
+        reaches ``batch_size`` (``None`` otherwise).
+        """
+        if not self._started:
+            self.start()
+        self.hooks.on_update_start(update)
+        if self._batcher is not None:
+            self._pending.append(update)
+            if len(self._pending) >= self.batch_size:
+                return self.flush()
+            return None
+        report = self.monitor.process(update)
+        self._complete([update], report, batched=False)
+        return report
+
+    def flush(self) -> UpdateReport | None:
+        """Process any buffered updates now (no-op in single mode)."""
+        if self._batcher is None or not self._pending:
+            return None
+        batch, self._pending = self._pending, []
+        report = self._batcher.process_batch(batch)
+        self._complete(batch, report, batched=True)
+        return report
+
+    def run(self, updates: Iterable[LocationUpdate]) -> int:
+        """Feed a whole stream (plus a final flush); returns the count."""
+        count = 0
+        for update in updates:
+            self.feed(update)
+            count += 1
+        self.flush()
+        return count
+
+    # -- internals --------------------------------------------------------
+
+    def _complete(
+        self,
+        updates: list[LocationUpdate],
+        report: UpdateReport,
+        batched: bool,
+    ) -> None:
+        self.hooks.on_refresh(report.cells_accessed)
+        for update in updates:
+            self.hooks.on_update_end(update, report)
+        if batched:
+            self.hooks.on_batch_flush(updates, report)
+        change = self.tracker.observe(updates[-1].timestamp)
+        if change is not None:
+            self.hooks.on_topk_change(change)
+        before = self.updates_processed
+        self.updates_processed += len(updates)
+        if self.audit_every and (
+            self.updates_processed // self.audit_every
+            > before // self.audit_every
+        ):
+            self.audit_problems.extend(audit_monitor(self.monitor))

@@ -24,14 +24,12 @@ safeties and matches the core monitors — the test suite checks that.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.config import CTUPConfig
-from repro.core.metrics import InitReport, UpdateReport
 from repro.core.monitor import CTUPMonitor
 from repro.core.topk import MaintainedPlaces, kth_smallest
 from repro.geometry import Circle, Point
@@ -108,9 +106,7 @@ class DecayCTUP(CTUPMonitor):
 
     # -- initialization ----------------------------------------------------
 
-    def initialize(self) -> InitReport:
-        self._require_not_initialized()
-        start = time.perf_counter()
+    def _build_initial_state(self) -> None:
         for cell in self.store.occupied_cells():
             arrays = self.store.cell_arrays(cell)
             protection, compared = self.units.weighted_protection_near(
@@ -149,16 +145,6 @@ class DecayCTUP(CTUPMonitor):
             for place, safety, kept in zip(places, safeties, keep):
                 if kept:
                     self.maintained.insert(place, float(safety), linear)
-        elapsed = time.perf_counter() - start
-        self.counters.time_init_s = elapsed
-        self._initialized = True
-        return InitReport(
-            seconds=elapsed,
-            cells_accessed=self.counters.cells_accessed,
-            places_loaded=self.counters.places_loaded,
-            sk=self.sk(),
-            maintained_places=len(self.maintained),
-        )
 
     def _evaluate_cell(self, cell: CellId) -> tuple[list[Place], np.ndarray]:
         places, arrays = self.store.read_cell_with_arrays(cell)
@@ -173,12 +159,9 @@ class DecayCTUP(CTUPMonitor):
 
     # -- update -------------------------------------------------------------
 
-    def process(self, update: LocationUpdate) -> UpdateReport:
-        self._require_initialized()
-        start = time.perf_counter()
+    def _apply(self, update: LocationUpdate) -> None:
         old = self.units.apply(update)
         new = update.new_location
-        radius = self.config.protection_range
 
         scanned = self.maintained.apply_unit_move_weighted(
             old, new, self.decay.weight
@@ -186,24 +169,10 @@ class DecayCTUP(CTUPMonitor):
         self.counters.maintained_scans += scanned
         self.counters.distance_rows += 2 * scanned
 
-        self._decay_bounds(old, new, radius)
-        mid = time.perf_counter()
-        accessed = self._access_below_sk()
-        end = time.perf_counter()
+        self._decay_bounds(old, new, self.config.protection_range)
 
-        self.counters.updates_processed += 1
-        self.counters.time_maintain_s += mid - start
-        self.counters.time_access_s += end - mid
-        self.counters.maintained_peak = max(
-            self.counters.maintained_peak, len(self.maintained)
-        )
-        return UpdateReport(
-            unit_id=update.unit_id,
-            sk=self.sk(),
-            cells_accessed=accessed,
-            maintain_seconds=mid - start,
-            access_seconds=end - mid,
-        )
+    def _refresh(self) -> int:
+        return self._access_below_sk()
 
     def _decay_bounds(self, old: Point, new: Point, radius: float) -> None:
         """Lower every reachable cell's bound by the possible loss."""

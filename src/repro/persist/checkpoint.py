@@ -48,7 +48,7 @@ def _decode_bound(value: float | str) -> float:
 
 def snapshot_optctup(monitor: OptCTUP) -> str:
     """Capture a running OptCTUP's dynamic state as a JSON document."""
-    if not monitor._initialized:
+    if not monitor.initialized:
         raise CheckpointError("cannot checkpoint an uninitialized monitor")
     config = monitor.config
     document = {

@@ -8,10 +8,11 @@ timelines, periodic self-audits — wired together behind one loop:
 >>> outcome = sim.run(updates=2_000)
 >>> outcome.final_topk[0], outcome.summary.update_ms_p95
 
-The shell exists so examples, notebooks and quick experiments don't
-re-implement the same plumbing; the benchmark harness stays separate
-because measurement wants recorded, replayable streams rather than live
-generation.
+The heavy lifting lives in :class:`repro.engine.MonitorSession`; the
+shell adds live generation, timeline collection and the outcome record,
+so examples, notebooks and quick experiments don't re-implement the
+plumbing. The benchmark harness stays separate because measurement
+wants recorded, replayable streams rather than live generation.
 """
 
 from __future__ import annotations
@@ -19,10 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.bench.timeline import Timeline, TimelineSummary
-from repro.core import CTUPConfig, OptCTUP, audit_monitor
-from repro.core.events import ChangeTracker, TopKChange
+from repro.bench.timeline import Timeline, TimelineHook, TimelineSummary
+from repro.core import CTUPConfig, OptCTUP
+from repro.core.events import TopKChange
 from repro.core.monitor import CTUPMonitor
+from repro.engine import MonitorHooks, MonitorSession
 from repro.model import SafetyRecord
 from repro.workloads import build_scenario
 from repro.workloads.stream import Mobility
@@ -44,28 +46,47 @@ class SimulationOutcome:
         return not self.audit_problems
 
 
+class _ChangeLog(MonitorHooks):
+    """Hook collecting every result change into a shared list."""
+
+    def __init__(self, changes: list[TopKChange]) -> None:
+        self.changes = changes
+
+    def on_topk_change(self, change: TopKChange) -> None:
+        self.changes.append(change)
+
+
 class Simulation:
-    """Live mobility + monitor + tracking in one loop."""
+    """Live mobility + a monitoring session in one loop."""
 
     def __init__(
         self,
         monitor: CTUPMonitor,
         mobility: Mobility,
         audit_every: int = 0,
+        batch_size: int = 0,
     ) -> None:
         """``audit_every`` > 0 runs the invariant auditor every that
-        many updates (it costs a brute-force pass — useful in soak
-        tests, off by default)."""
-        if audit_every < 0:
-            raise ValueError("audit_every cannot be negative")
+        many updates; ``batch_size`` > 0 ingests the live stream in
+        exact bursts (both forwarded to the session)."""
         self.monitor = monitor
         self.mobility = mobility
-        self.audit_every = audit_every
+        self.session = MonitorSession(
+            monitor, batch_size=batch_size, audit_every=audit_every
+        )
         self.timeline = Timeline()
-        self.tracker = ChangeTracker(monitor)
         self.changes: list[TopKChange] = []
-        self.tracker.subscribe(self.changes.append)
-        self._started = False
+        self.session.add_hook(TimelineHook(self.timeline, monitor))
+        self.session.add_hook(_ChangeLog(self.changes))
+
+    @property
+    def tracker(self):
+        """The session's change tracker (kept for compatibility)."""
+        return self.session.tracker
+
+    @property
+    def audit_every(self) -> int:
+        return self.session.audit_every
 
     @classmethod
     def from_scenario(
@@ -80,6 +101,7 @@ class Simulation:
         seed: int = 0,
         monitor_factory: Callable | None = None,
         audit_every: int = 0,
+        batch_size: int = 0,
     ) -> "Simulation":
         """Build a ready-to-run simulation from a named scenario."""
         from repro.core.tuning import suggest_granularity
@@ -101,37 +123,26 @@ class Simulation:
         )
         factory = monitor_factory or OptCTUP
         monitor = factory(config, world.places, world.units)
-        return cls(monitor, world.mobility, audit_every=audit_every)
+        return cls(
+            monitor,
+            world.mobility,
+            audit_every=audit_every,
+            batch_size=batch_size,
+        )
 
     def run(self, updates: int) -> SimulationOutcome:
         """Generate and process ``updates`` live messages."""
         if updates <= 0:
             raise ValueError("updates must be positive")
-        if not self._started:
-            self.tracker.initialize()
-            self._started = True
-        problems: list[str] = []
-        processed = 0
-        for update in self.mobility.updates(updates):
-            report = self.monitor.process(update)
-            self.timeline.sk.append(self.monitor.sk())
-            maintained = getattr(self.monitor, "maintained", None)
-            self.timeline.maintained.append(
-                len(maintained) if maintained is not None else 0
-            )
-            self.timeline.accesses.append(report.cells_accessed)
-            self.timeline.update_seconds.append(
-                report.maintain_seconds + report.access_seconds
-            )
-            self.tracker.observe(update.timestamp)
-            processed += 1
-            if self.audit_every and processed % self.audit_every == 0:
-                problems.extend(audit_monitor(self.monitor))
+        if not self.session.started:
+            self.session.start()
+        problems_before = len(self.session.audit_problems)
+        processed = self.session.run(self.mobility.updates(updates))
         return SimulationOutcome(
             updates=processed,
             final_topk=self.monitor.top_k(),
             final_sk=self.monitor.sk(),
             summary=self.timeline.summary(),
             changes=list(self.changes),
-            audit_problems=problems,
+            audit_problems=self.session.audit_problems[problems_before:],
         )

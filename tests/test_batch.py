@@ -15,10 +15,13 @@ def processor(small_config, small_places, small_units):
 
 
 class TestConstruction:
-    def test_requires_optctup(self, small_config, small_places, small_units):
+    def test_accepts_any_scheme(self, small_config, small_places, small_units):
         basic = BasicCTUP(small_config, small_places, small_units)
+        assert BatchProcessor(basic).monitor is basic
+
+    def test_rejects_non_monitors(self):
         with pytest.raises(TypeError):
-            BatchProcessor(basic)
+            BatchProcessor(object())
 
     def test_requires_initialized_monitor(
         self, small_config, small_places, small_units, small_stream

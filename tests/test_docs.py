@@ -49,6 +49,7 @@ class TestReadme:
     def test_mentions_every_top_package(self, readme):
         for package in (
             "repro.core",
+            "repro.engine",
             "repro.geometry",
             "repro.grid",
             "repro.storage",

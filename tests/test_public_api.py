@@ -7,6 +7,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.engine",
     "repro.geometry",
     "repro.grid",
     "repro.storage",

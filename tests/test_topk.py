@@ -232,10 +232,12 @@ class TestApplyUnitMove:
         for i, (x, y) in enumerate(coords):
             table.insert(place(i, x, y), 0.0, cell=0)
         old, new = Point(ox, oy), Point(nx_, ny_)
-        table.apply_unit_move(old, new, radius=0.2)
+        radius = 0.2
+        table.apply_unit_move(old, new, radius=radius)
+        r2 = radius * radius  # the kernel's exact comparison value
         for i, (x, y) in enumerate(coords):
-            was = old.squared_distance_to(Point(x, y)) <= 0.04
-            now = new.squared_distance_to(Point(x, y)) <= 0.04
+            was = old.squared_distance_to(Point(x, y)) <= r2
+            now = new.squared_distance_to(Point(x, y)) <= r2
             assert table.safety_of(i) == float(int(now) - int(was))
 
     def test_weighted_move(self):
