@@ -1,0 +1,196 @@
+"""Hot-path benchmark: unit-grid prefilter on vs off, with a guard.
+
+Runs the three schemes over a pinned-seed workload twice — once with the
+bucketed unit index (``use_unit_grid=True``, the default) and once with
+the linear reachability scan — and writes a canonical JSON document.
+``repro.bench.guard`` compares it against the committed baseline
+(``BENCH_hotpath.json`` at the repository root): structural mismatch
+fails, numeric drift only warns.
+
+CLI (also wired into CI as a smoke job)::
+
+    python benchmarks/bench_hotpath.py --smoke --check   # fast CI guard
+    python benchmarks/bench_hotpath.py --write-baseline  # refresh baseline
+
+Running under pytest executes the smoke profile and the structural
+comparison against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+import numpy as np
+
+from repro.bench import build_workload, run_monitor
+from repro.bench.guard import (
+    BENCH_NAME,
+    SCHEMA_VERSION,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from repro.core import CTUPConfig
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+SCHEMES = ("naive", "basic", "opt")
+
+#: pinned workloads; these parameters are part of the baseline's
+#: identity — changing them is a structural break, not a regression.
+PROFILES = {
+    "smoke": dict(n_units=200, n_places=2_000, stream_length=30, seed=7),
+    "default": dict(n_units=1_000, n_places=15_000, stream_length=200, seed=7),
+}
+K = 5
+
+
+def machine_metadata() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+    }
+
+
+def _mode_metrics(result) -> dict:
+    c = result.update_counters
+    u = result.update_unit_stats
+    return {
+        "wall_seconds": round(result.wall_seconds, 4),
+        "maintain_seconds": round(c.time_maintain_s, 4),
+        "access_seconds": round(c.time_access_s, 4),
+        "candidate_units": u.candidate_units,
+        "reachable_units": u.reachable_units,
+        "cells_accessed": c.cells_accessed,
+        "distance_rows": c.distance_rows,
+        "page_reads": result.io.page_reads,
+        "array_hits": result.io.array_hits,
+        "final_sk": result.final_sk,
+    }
+
+
+def run_profile(name: str, validate: bool = True) -> dict:
+    params = PROFILES[name]
+    workload = build_workload(**params)
+    schemes: dict[str, dict] = {}
+    for scheme in SCHEMES:
+        modes: dict[str, dict] = {}
+        for mode, grid_on in (("indexed", True), ("linear", False)):
+            config = CTUPConfig(k=K, use_unit_grid=grid_on)
+            result = run_monitor(scheme, config, workload, validate=validate)
+            modes[mode] = _mode_metrics(result)
+        schemes[scheme] = modes
+    return {"workload": {**params, "k": K}, "schemes": schemes}
+
+
+def run_bench(profiles: list[str], validate: bool = True) -> dict:
+    return {
+        "bench": BENCH_NAME,
+        "version": SCHEMA_VERSION,
+        "machine": machine_metadata(),
+        "profiles": {name: run_profile(name, validate) for name in profiles},
+    }
+
+
+def _speedup_lines(doc: dict) -> list[str]:
+    lines = []
+    for profile, prof in doc["profiles"].items():
+        for scheme, modes in prof["schemes"].items():
+            lin, idx = modes["linear"], modes["indexed"]
+            cand = (
+                lin["candidate_units"] / idx["candidate_units"]
+                if idx["candidate_units"]
+                else float("inf")
+            )
+            wall = (
+                lin["wall_seconds"] / idx["wall_seconds"]
+                if idx["wall_seconds"]
+                else float("inf")
+            )
+            lines.append(
+                f"{profile:8} {scheme:6} units-compared {cand:6.1f}x "
+                f"wall {wall:5.2f}x  (exact: dist_rows "
+                f"{'==' if lin['distance_rows'] == idx['distance_rows'] else '!='}, "
+                f"sk {'==' if lin['final_sk'] == idx['final_sk'] else '!='})"
+            )
+    return lines
+
+
+# -- pytest entry point (the CI smoke job runs this file directly) --------
+
+
+def test_hotpath_smoke_matches_baseline():
+    doc = run_bench(["smoke"])
+    # the index must prune: strictly fewer candidates than the linear scan,
+    # with identical deterministic results.
+    for scheme, modes in doc["profiles"]["smoke"]["schemes"].items():
+        lin, idx = modes["linear"], modes["indexed"]
+        assert idx["candidate_units"] < lin["candidate_units"], scheme
+        assert idx["distance_rows"] == lin["distance_rows"], scheme
+        assert idx["cells_accessed"] == lin["cells_accessed"], scheme
+        assert idx["final_sk"] == lin["final_sk"], scheme
+    report = compare(load_baseline(BASELINE_PATH), doc)
+    # counters may drift with numpy/python versions (warned, tolerated);
+    # a structural mismatch means the committed baseline is stale.
+    assert report.ok(), report.format()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="run only the fast smoke profile"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline "
+        "(exit 1 on structural mismatch)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --check: also fail on counter regressions",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"write the results to {BASELINE_PATH.name}",
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the per-run brute-force top-k validation",
+    )
+    args = parser.parse_args(argv)
+
+    profiles = ["smoke"] if args.smoke else ["smoke", "default"]
+    doc = run_bench(profiles, validate=not args.no_validate)
+    print(json.dumps(doc["machine"], sort_keys=True))
+    for line in _speedup_lines(doc):
+        print(line)
+
+    status = 0
+    if args.check:
+        try:
+            baseline = load_baseline(BASELINE_PATH)
+        except FileNotFoundError:
+            print(f"no baseline at {BASELINE_PATH}; run --write-baseline first")
+            return 1
+        report = compare(baseline, doc)
+        print(report.format())
+        if not report.ok(strict=args.strict):
+            status = 1
+    if args.write_baseline:
+        write_baseline(BASELINE_PATH, doc)
+        print(f"baseline written to {BASELINE_PATH}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""Benchmark-regression guard for the update hot path.
+
+``benchmarks/bench_hotpath.py`` measures the pinned-seed hot-path
+workload and writes a canonical JSON document; this module compares such
+a document against the committed baseline (``BENCH_hotpath.json`` at the
+repository root) and classifies every difference:
+
+* **structural** — the two documents do not describe the same
+  experiment: different schema version, scheme set, profiles or workload
+  parameters. These make any numeric comparison meaningless and are the
+  only findings that fail :meth:`GuardReport.ok` — CI must hard-fail on
+  them, because they mean the baseline was silently invalidated.
+* **regression / improvement** — a metric moved beyond its tolerance.
+  Deterministic work counters (units compared, cells accessed, distance
+  rows, page I/O) are machine-independent and get a tight tolerance;
+  wall-clock metrics are noisy on shared runners and get a loose one.
+  Either way these are advisory: the guard reports, humans decide.
+
+The split mirrors how the numbers behave: counters only change when the
+algorithm changes, wall time changes when the weather does.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: metrics that are deterministic given (code, workload): compared tightly.
+COUNTER_METRICS = (
+    "candidate_units",
+    "reachable_units",
+    "cells_accessed",
+    "distance_rows",
+    "page_reads",
+    "array_hits",
+    "final_sk",
+)
+
+#: wall-clock metrics: noisy, never more than a warning.
+WALL_METRICS = (
+    "wall_seconds",
+    "maintain_seconds",
+    "access_seconds",
+)
+
+#: default relative tolerances per metric class.
+COUNTER_TOLERANCE = 0.02
+WALL_TOLERANCE = 0.60
+
+SCHEMA_VERSION = 1
+BENCH_NAME = "hotpath"
+
+
+@dataclass(frozen=True)
+class GuardFinding:
+    """One classified difference between baseline and current run."""
+
+    kind: str  # "structural" | "regression" | "improvement"
+    path: str  # e.g. "default/opt/indexed/candidate_units"
+    message: str
+    #: wall-clock findings are advisory even under a strict policy.
+    wall: bool = False
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.path}: {self.message}"
+
+
+@dataclass
+class GuardReport:
+    """Everything the guard found, ready for CI or a human."""
+
+    findings: list[GuardFinding] = field(default_factory=list)
+
+    @property
+    def structural(self) -> list[GuardFinding]:
+        return [f for f in self.findings if f.kind == "structural"]
+
+    @property
+    def regressions(self) -> list[GuardFinding]:
+        return [f for f in self.findings if f.kind == "regression"]
+
+    @property
+    def improvements(self) -> list[GuardFinding]:
+        return [f for f in self.findings if f.kind == "improvement"]
+
+    def ok(self, strict: bool = False) -> bool:
+        """No structural mismatch; under ``strict`` also no counter drift.
+
+        Wall-clock regressions never fail the guard — runners are too
+        noisy for that to be signal.
+        """
+        if self.structural:
+            return False
+        if strict:
+            return not any(f for f in self.regressions if not f.wall)
+        return True
+
+    def format(self) -> str:
+        if not self.findings:
+            return "bench guard: baseline and current run match."
+        lines = [
+            f"bench guard: {len(self.structural)} structural, "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s)"
+        ]
+        lines.extend(str(f) for f in self.findings)
+        return "\n".join(lines)
+
+
+def load_baseline(path: str | Path) -> dict[str, Any]:
+    """Read a bench document; raises ``FileNotFoundError``/``ValueError``."""
+    text = Path(path).read_text()
+    doc = json.loads(text)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: bench document must be a JSON object")
+    return doc
+
+
+def write_baseline(path: str | Path, doc: dict[str, Any]) -> None:
+    """Write a bench document canonically (sorted keys, trailing newline)."""
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def _relative_change(base: float, current: float) -> float:
+    if base == current:
+        return 0.0
+    if base == 0:
+        return math.inf
+    return (current - base) / abs(base)
+
+
+def _compare_metrics(
+    base: dict[str, Any],
+    current: dict[str, Any],
+    path: str,
+    findings: list[GuardFinding],
+    counter_tolerance: float,
+    wall_tolerance: float,
+) -> None:
+    for metric, tolerance, is_wall in [
+        *((m, counter_tolerance, False) for m in COUNTER_METRICS),
+        *((m, wall_tolerance, True) for m in WALL_METRICS),
+    ]:
+        if metric not in base and metric not in current:
+            continue
+        if metric not in base or metric not in current:
+            findings.append(
+                GuardFinding(
+                    "structural",
+                    f"{path}/{metric}",
+                    "metric present on only one side",
+                )
+            )
+            continue
+        b, c = float(base[metric]), float(current[metric])
+        change = _relative_change(b, c)
+        if abs(change) <= tolerance:
+            continue
+        kind = "regression" if change > 0 else "improvement"
+        findings.append(
+            GuardFinding(
+                kind,
+                f"{path}/{metric}",
+                f"{b:g} -> {c:g} ({change:+.1%}, tolerance {tolerance:.0%})",
+                wall=is_wall,
+            )
+        )
+
+
+def compare(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    counter_tolerance: float = COUNTER_TOLERANCE,
+    wall_tolerance: float = WALL_TOLERANCE,
+) -> GuardReport:
+    """Classify every difference between two bench documents."""
+    findings: list[GuardFinding] = []
+
+    for key, expected in (("bench", BENCH_NAME), ("version", SCHEMA_VERSION)):
+        for name, doc in (("baseline", baseline), ("current", current)):
+            if doc.get(key) != expected:
+                findings.append(
+                    GuardFinding(
+                        "structural",
+                        key,
+                        f"{name} has {key}={doc.get(key)!r}, expected {expected!r}",
+                    )
+                )
+    if any(f.kind == "structural" for f in findings):
+        return GuardReport(findings)
+
+    base_profiles = baseline.get("profiles", {})
+    cur_profiles = current.get("profiles", {})
+    # only profiles the *current* run measured are compared (a smoke run
+    # must not be failed for skipping the default profile), but every
+    # measured profile must exist in the baseline.
+    for profile, cur_prof in cur_profiles.items():
+        base_prof = base_profiles.get(profile)
+        if base_prof is None:
+            findings.append(
+                GuardFinding(
+                    "structural", profile, "profile missing from baseline"
+                )
+            )
+            continue
+        if base_prof.get("workload") != cur_prof.get("workload"):
+            findings.append(
+                GuardFinding(
+                    "structural",
+                    f"{profile}/workload",
+                    f"workload parameters differ: baseline "
+                    f"{base_prof.get('workload')} vs current "
+                    f"{cur_prof.get('workload')}",
+                )
+            )
+            continue
+        base_schemes = base_prof.get("schemes", {})
+        cur_schemes = cur_prof.get("schemes", {})
+        if set(base_schemes) != set(cur_schemes):
+            findings.append(
+                GuardFinding(
+                    "structural",
+                    f"{profile}/schemes",
+                    f"scheme sets differ: baseline {sorted(base_schemes)} "
+                    f"vs current {sorted(cur_schemes)}",
+                )
+            )
+            continue
+        for scheme in sorted(cur_schemes):
+            base_modes = base_schemes[scheme]
+            cur_modes = cur_schemes[scheme]
+            if set(base_modes) != set(cur_modes):
+                findings.append(
+                    GuardFinding(
+                        "structural",
+                        f"{profile}/{scheme}",
+                        f"mode sets differ: baseline {sorted(base_modes)} "
+                        f"vs current {sorted(cur_modes)}",
+                    )
+                )
+                continue
+            for mode in sorted(cur_modes):
+                _compare_metrics(
+                    base_modes[mode],
+                    cur_modes[mode],
+                    f"{profile}/{scheme}/{mode}",
+                    findings,
+                    counter_tolerance,
+                    wall_tolerance,
+                )
+    return GuardReport(findings)

@@ -9,6 +9,7 @@ from typing import Callable, Sequence
 from repro.bench.workload import Workload
 from repro.core import BasicCTUP, CTUPConfig, NaiveCTUP, OptCTUP
 from repro.core.metrics import InitReport, MonitorCounters
+from repro.core.units import UnitKernelStats
 from repro.core.monitor import CTUPMonitor
 from repro.model import Place, Unit
 from repro.storage.iostats import IoStats
@@ -34,6 +35,10 @@ class RunResult:
     #: counters restricted to the update phase (init work subtracted).
     update_counters: MonitorCounters
     io: IoStats
+    #: reachability-prefilter work (candidate vs reachable units).
+    unit_stats: UnitKernelStats
+    #: prefilter work restricted to the update phase.
+    update_unit_stats: UnitKernelStats
     n_updates: int
     wall_seconds: float
     final_sk: float
@@ -95,6 +100,7 @@ def run_monitor(
     monitor = factory(config, workload.places, workload.units)
     init = monitor.initialize()
     after_init = monitor.counters.snapshot()
+    after_init_units = monitor.units.stats.snapshot()
     stream = workload.stream if updates is None else workload.stream.prefix(updates)
     start = time.perf_counter()
     n = monitor.run_stream(stream)
@@ -117,6 +123,8 @@ def run_monitor(
         counters=monitor.counters.snapshot(),
         update_counters=monitor.counters.snapshot() - after_init,
         io=monitor.store.io_stats.snapshot(),
+        unit_stats=monitor.units.stats.snapshot(),
+        update_unit_stats=monitor.units.stats.snapshot() - after_init_units,
         n_updates=n,
         wall_seconds=wall,
         final_sk=monitor.sk(),

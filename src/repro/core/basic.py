@@ -23,8 +23,7 @@ from repro.core.config import CTUPConfig
 from repro.core.monitor import CTUPMonitor
 from repro.core.tables import table1_delta
 from repro.core.topk import MaintainedPlaces
-from repro.geometry import Circle, Point
-from repro.geometry.relations import classify_circle_rect
+from repro.geometry import Point
 from repro.grid.cellstate import CellState
 from repro.grid.partition import CellId
 from repro.model import LocationUpdate, Place, SafetyRecord, Unit
@@ -95,19 +94,15 @@ class BasicCTUP(CTUPMonitor):
         return accessed
 
     def _adjust_dark_bounds(self, old: Point, new: Point, radius: float) -> None:
-        old_disk = Circle(old, radius)
-        new_disk = Circle(new, radius)
-        candidates = set(self.grid.cells_touching_circle(old_disk))
-        candidates.update(self.grid.cells_touching_circle(new_disk))
-        for cell in candidates:
+        # the stencil classifies the old and new disk against every
+        # candidate cell in one vectorised pass (cells touching neither
+        # disk are N -> N and never emitted).
+        stencil = self.grid.stencil(radius)
+        for cell, rel_old, rel_new in stencil.classify_move(old, new):
             state = self.cell_states.get(cell)
             if state is None or state.illuminated:
                 continue
-            rect = self.grid.cell_rect(cell)
-            delta = table1_delta(
-                classify_circle_rect(old_disk, rect),
-                classify_circle_rect(new_disk, rect),
-            )
+            delta = table1_delta(rel_old, rel_new)
             if delta > 0:
                 state.increase(delta)
                 self.counters.lb_increments += 1

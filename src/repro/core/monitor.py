@@ -65,6 +65,10 @@ class CTUPMonitor(abc.ABC):
             buffer_pages=config.buffer_pages,
         )
         self.units = UnitIndex(units)
+        if config.use_unit_grid:
+            # bucket the fleet by grid cell: the AP kernels then gather
+            # candidates per cell neighbourhood instead of scanning |U|.
+            self.units.attach_grid(self.grid)
         if abs(self.units.protection_range - config.protection_range) > 1e-12:
             raise ValueError(
                 "config protection range "

@@ -34,8 +34,7 @@ from repro.core.tables import (
     table2_action,
 )
 from repro.core.topk import MaintainedPlaces, kth_smallest
-from repro.geometry import Circle, Point
-from repro.geometry.relations import classify_circle_rect
+from repro.geometry import Point
 from repro.grid.cellstate import CellState
 from repro.grid.partition import CellId
 from repro.model import LocationUpdate, Place, SafetyRecord, Unit
@@ -163,17 +162,14 @@ class OptCTUP(CTUPMonitor):
     def _adjust_bounds(
         self, unit_id: int, old: Point, new: Point, radius: float
     ) -> None:
-        old_disk = Circle(old, radius)
-        new_disk = Circle(new, radius)
-        candidates = set(self.grid.cells_touching_circle(old_disk))
-        candidates.update(self.grid.cells_touching_circle(new_disk))
-        for cell in candidates:
+        # one vectorised stencil pass classifies both disks against all
+        # candidate cells (N -> N cells are never emitted — they carry
+        # no Table I/II action).
+        stencil = self.grid.stencil(radius)
+        for cell, rel_old, rel_new in stencil.classify_move(old, new):
             state = self.cell_states.get(cell)
             if state is None:
                 continue
-            rect = self.grid.cell_rect(cell)
-            rel_old = classify_circle_rect(old_disk, rect)
-            rel_new = classify_circle_rect(new_disk, rect)
             if self.config.use_doo:
                 in_hash = self.dechash.contains(unit_id, cell)
                 delta, hash_action = table2_action(rel_old, rel_new, in_hash)

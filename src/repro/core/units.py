@@ -2,18 +2,63 @@
 
 The server keeps the most recently reported location of every unit
 (§II-A). :class:`UnitIndex` owns that state for one monitor instance and
-provides the vectorised actual-protection kernel used whenever a cell's
-places must be (re)evaluated against *all* units.
+provides the vectorised actual-protection kernels used whenever a cell's
+places must be (re)evaluated against the units.
+
+The kernels only ever need the units whose protection disk can reach the
+queried rectangle (§III-B/§IV-D). By default that reachability filter is
+a linear scan over all |U| positions; attaching a grid via
+:meth:`UnitIndex.attach_grid` swaps in a bucketed
+:class:`~repro.index.unitgrid.UnitGridIndex` so only the bucket
+neighbourhood of the rectangle is examined. Both paths end in the same
+exact filter, so results are bit-for-bit identical — the index is purely
+a work reducer, and :class:`UnitKernelStats` records how much work it
+saved.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields
 from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.geometry import Point
+from repro.geometry import Point, Rect
 from repro.model import LocationUpdate, Unit
+
+
+@dataclass(slots=True)
+class UnitKernelStats:
+    """Work counters of the reachability prefilter.
+
+    ``candidate_units`` is what the prefilter examined (|U| per query on
+    the linear path, the bucket-neighbourhood gather on the indexed
+    path); ``reachable_units`` is what survived into the distance kernel
+    — identical on both paths. The spread between the two is the work
+    the unit grid eliminates.
+    """
+
+    queries: int = 0
+    candidate_units: int = 0
+    reachable_units: int = 0
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.candidate_units = 0
+        self.reachable_units = 0
+
+    def snapshot(self) -> "UnitKernelStats":
+        return UnitKernelStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def __sub__(self, other: "UnitKernelStats") -> "UnitKernelStats":
+        return UnitKernelStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
 
 
 class UnitIndex:
@@ -27,7 +72,14 @@ class UnitIndex:
     from the same initial fleet do not share mutable state.
     """
 
+    #: below this fleet size the linear reachability scan beats the
+    #: bucket gather, so an attached grid index is left idle. Instances
+    #: may override (tests force the bucketed path by setting it to 1).
+    grid_min_fleet: int = 32
+
     def __init__(self, units: Iterable[Unit]) -> None:
+        self._grid_index = None
+        self.stats = UnitKernelStats()
         units = list(units)
         if not units:
             raise ValueError("at least one protecting unit is required")
@@ -64,6 +116,31 @@ class UnitIndex:
         """The most recently reported location of ``unit_id``."""
         return self._units[unit_id].location
 
+    def attach_grid(self, grid) -> None:
+        """Bucket the unit rows by ``grid`` cell (perf only, exactness kept).
+
+        Subsequent location updates maintain the buckets incrementally;
+        the AP kernels gather candidates from the bucket neighbourhood
+        of the queried rectangle instead of scanning all |U| rows. Any
+        previously attached index is replaced.
+        """
+        from repro.index.unitgrid import UnitGridIndex
+
+        self._grid_index = UnitGridIndex(
+            grid, self._xs, self._ys, self.protection_range
+        )
+
+    @property
+    def grid_index(self):
+        """The attached :class:`UnitGridIndex`, or ``None``."""
+        return self._grid_index
+
+    def _use_buckets(self) -> bool:
+        return (
+            self._grid_index is not None
+            and len(self._xs) >= self.grid_min_fleet
+        )
+
     def apply(self, update: LocationUpdate) -> Point:
         """Record a location update; returns the *tracked* old location.
 
@@ -84,27 +161,94 @@ class UnitIndex:
         row = self._row_of[update.unit_id]
         self._xs[row] = update.new_location.x
         self._ys[row] = update.new_location.y
+        if self._grid_index is not None:
+            self._grid_index.move(
+                row, old.x, old.y, update.new_location.x, update.new_location.y
+            )
         return old
 
     def ap_counts(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
         """Actual protection ``AP`` of each query point.
 
         Counts, for every ``(xs[i], ys[i])``, the units whose closed
-        protection disk contains the point. Vectorised over both points
-        and units; memory is bounded by chunking the point axis.
+        protection disk contains the point. With a grid index attached
+        and a large enough fleet the points are batched by grid cell and
+        each batch only meets its bucket-neighbourhood candidates;
+        otherwise the kernel broadcasts against all units, chunking the
+        point axis to bound temporaries.
         """
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
+        if len(xs) == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._use_buckets():
+            return self._ap_counts_bucketed(xs, ys)
         r2 = self.protection_range * self.protection_range
         out = np.empty(len(xs), dtype=np.int64)
-        # ~4M matrix cells per chunk keeps temporaries small.
-        chunk = max(1, 4_000_000 // max(len(self._xs), 1))
+        # ~4M matrix cells per chunk keeps temporaries small; the floor
+        # of 64 points stops huge fleets degenerating to row-at-a-time
+        # kernels (the bucketed path is the real fix at that scale).
+        chunk = max(64, 4_000_000 // max(len(self._xs), 1))
         for start in range(0, len(xs), chunk):
             end = min(start + chunk, len(xs))
             dx = xs[start:end, None] - self._xs[None, :]
             dy = ys[start:end, None] - self._ys[None, :]
             out[start:end] = np.count_nonzero(dx * dx + dy * dy <= r2, axis=1)
         return out
+
+    def _ap_counts_bucketed(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Per-cell batched AP counts through the unit grid.
+
+        Groups the query points by grid cell and gathers one candidate
+        set per occupied cell (from the bounding box of the group's
+        actual points, so out-of-space points are still exact).
+        """
+        lin = self._grid_index.bucket_columns(xs, ys)
+        order = np.argsort(lin, kind="stable")
+        boundaries = np.flatnonzero(np.diff(lin[order])) + 1
+        r2 = self.protection_range * self.protection_range
+        out = np.empty(len(xs), dtype=np.int64)
+        for group in np.split(order, boundaries):
+            px = xs[group]
+            py = ys[group]
+            rect = Rect(
+                float(px.min()), float(py.min()), float(px.max()), float(py.max())
+            )
+            ux, uy = self._reachable_near(rect)
+            if len(ux) == 0:
+                out[group] = 0
+                continue
+            dx = px[:, None] - ux[None, :]
+            dy = py[:, None] - uy[None, :]
+            out[group] = np.count_nonzero(dx * dx + dy * dy <= r2, axis=1)
+        return out
+
+    def _reachable_near(self, rect) -> tuple[np.ndarray, np.ndarray]:
+        """Positions of the units whose disk reaches into ``rect``.
+
+        The single reachability filter behind every ``*_near`` kernel:
+        bucketed gather + exact filter when the grid index is active, a
+        full-fleet exact filter otherwise. Both produce the same rows in
+        the same (ascending-row) order.
+        """
+        if self._use_buckets():
+            rows, examined = self._grid_index.units_reaching(rect)
+            ux = self._xs[rows]
+            uy = self._ys[rows]
+        else:
+            examined = len(self._xs)
+            dx = np.maximum(rect.xmin - self._xs, 0.0)
+            dx = np.maximum(dx, self._xs - rect.xmax)
+            dy = np.maximum(rect.ymin - self._ys, 0.0)
+            dy = np.maximum(dy, self._ys - rect.ymax)
+            r = self.protection_range
+            reachable = dx * dx + dy * dy <= r * r
+            ux = self._xs[reachable]
+            uy = self._ys[reachable]
+        self.stats.queries += 1
+        self.stats.candidate_units += examined
+        self.stats.reachable_units += len(ux)
+        return ux, uy
 
     def ap_counts_near(
         self, xs: np.ndarray, ys: np.ndarray, rect
@@ -120,13 +264,7 @@ class UnitIndex:
         ``rect``.
         """
         r = self.protection_range
-        dx = np.maximum(rect.xmin - self._xs, 0.0)
-        dx = np.maximum(dx, self._xs - rect.xmax)
-        dy = np.maximum(rect.ymin - self._ys, 0.0)
-        dy = np.maximum(dy, self._ys - rect.ymax)
-        reachable = dx * dx + dy * dy <= r * r
-        ux = self._xs[reachable]
-        uy = self._ys[reachable]
+        ux, uy = self._reachable_near(rect)
         n_units = len(ux)
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
@@ -147,14 +285,7 @@ class UnitIndex:
         units, where ``weight_of_distance`` maps a numpy distance array
         to a weight array (zero beyond the protection range).
         """
-        r = self.protection_range
-        dx = np.maximum(rect.xmin - self._xs, 0.0)
-        dx = np.maximum(dx, self._xs - rect.xmax)
-        dy = np.maximum(rect.ymin - self._ys, 0.0)
-        dy = np.maximum(dy, self._ys - rect.ymax)
-        reachable = dx * dx + dy * dy <= r * r
-        ux = self._xs[reachable]
-        uy = self._ys[reachable]
+        ux, uy = self._reachable_near(rect)
         n_units = len(ux)
         xs = np.asarray(xs, dtype=np.float64)
         ys = np.asarray(ys, dtype=np.float64)
@@ -167,6 +298,12 @@ class UnitIndex:
 
     def ap_of_point(self, p: Point) -> int:
         """Actual protection of a single point."""
+        if self._use_buckets():
+            # for a degenerate rectangle the exact reachability filter
+            # *is* the point-in-disk test, so the reachable set is the
+            # protecting set.
+            ux, _ = self._reachable_near(Rect(p.x, p.y, p.x, p.y))
+            return len(ux)
         dx = self._xs - p.x
         dy = self._ys - p.y
         r2 = self.protection_range * self.protection_range

@@ -7,7 +7,7 @@ whose rectangle meets the old or new protection disk can change their
 N/P/F relation, so only those need Table I / Table II processing.
 """
 
-from repro.grid.partition import CellId, GridPartition
+from repro.grid.partition import CellId, CircleStencil, GridPartition
 from repro.grid.cellstate import CellState
 
-__all__ = ["CellId", "GridPartition", "CellState"]
+__all__ = ["CellId", "CircleStencil", "GridPartition", "CellState"]

@@ -1,14 +1,37 @@
-"""The uniform grid partition of the monitored space."""
+"""The uniform grid partition of the monitored space.
+
+Besides the partition arithmetic this module owns two geometry caches on
+the update hot path:
+
+* per-cell :class:`Rect` objects are memoized — the candidate loops of
+  the monitors touch the same few hundred rects on every update, and
+  rebuilding them dominated the maintain phase's allocation profile;
+* :class:`CircleStencil` precomputes, for one fixed protection radius,
+  the candidate-cell neighbourhood arithmetic and classifies a moving
+  disk against all candidate cells in one vectorised pass instead of two
+  scalar N/P/F derivations per cell per update.
+"""
 
 from __future__ import annotations
 
 import math
 from typing import Iterator
 
+import numpy as np
+
 from repro.geometry import Circle, Point, Rect
+from repro.geometry.relations import CellRelation
 
 # A cell is addressed by its (column, row) pair.
 CellId = tuple[int, int]
+
+#: integer relation codes used by the vectorised classifier.
+_N_CODE, _P_CODE, _F_CODE = 0, 1, 2
+_RELATION_OF_CODE = {
+    _N_CODE: CellRelation.NO_INTERSECT,
+    _P_CODE: CellRelation.PARTIAL,
+    _F_CODE: CellRelation.FULL,
+}
 
 
 class GridPartition:
@@ -33,6 +56,9 @@ class GridPartition:
         self.ny = ny
         self.cell_width = space.width / nx
         self.cell_height = space.height / ny
+        #: lazily filled geometry caches (cells are immutable).
+        self._rect_cache: dict[CellId, Rect] = {}
+        self._stencil_cache: dict[float, CircleStencil] = {}
 
     @classmethod
     def unit_square(cls, granularity: int) -> "GridPartition":
@@ -59,12 +85,28 @@ class GridPartition:
         return (i, j)
 
     def cell_rect(self, cell: CellId) -> Rect:
-        """The closed rectangle of ``cell``."""
-        i, j = cell
-        self._check_cell(cell)
-        x0 = self.space.xmin + i * self.cell_width
-        y0 = self.space.ymin + j * self.cell_height
-        return Rect(x0, y0, x0 + self.cell_width, y0 + self.cell_height)
+        """The closed rectangle of ``cell`` (memoized — rects are shared).
+
+        The same rect object is returned on every call, so hot loops may
+        compare rects by identity and no per-update allocation happens.
+        """
+        rect = self._rect_cache.get(cell)
+        if rect is None:
+            self._check_cell(cell)
+            i, j = cell
+            x0 = self.space.xmin + i * self.cell_width
+            y0 = self.space.ymin + j * self.cell_height
+            rect = Rect(x0, y0, x0 + self.cell_width, y0 + self.cell_height)
+            self._rect_cache[cell] = rect
+        return rect
+
+    def stencil(self, radius: float) -> "CircleStencil":
+        """The (cached) candidate-cell stencil for disks of ``radius``."""
+        stencil = self._stencil_cache.get(radius)
+        if stencil is None:
+            stencil = CircleStencil(self, radius)
+            self._stencil_cache[radius] = stencil
+        return stencil
 
     def all_cells(self) -> Iterator[CellId]:
         """All cell ids, column-major."""
@@ -120,3 +162,137 @@ class GridPartition:
         i, j = cell
         if not (0 <= i < self.nx and 0 <= j < self.ny):
             raise ValueError(f"cell {cell} outside grid {self.nx}x{self.ny}")
+
+
+class CircleStencil:
+    """Vectorised N/P/F classification for disks of one fixed radius.
+
+    The monitors' bound maintenance asks, per location update, how the
+    old and the new protection disk relate to every candidate cell. The
+    stencil answers both questions in one numpy pass over the candidate
+    block: per candidate column/row it derives the minimum and maximum
+    squared distance from the disk centre to the cell rectangle and maps
+    them onto the three relations (F when the farthest corner is inside
+    the disk, N when the nearest point is outside, P otherwise — the
+    same closed-set rules as
+    :func:`repro.geometry.relations.classify_circle_rect`).
+
+    Cells outside a disk's candidate block are guaranteed N (the block
+    covers every cell its bounding box touches), so a move only yields
+    the cells where at least one side is not N — exactly the candidate
+    set the scalar path derived with two ``cells_touching_circle``
+    sweeps and two classifications per cell.
+    """
+
+    def __init__(self, grid: GridPartition, radius: float) -> None:
+        if radius < 0:
+            raise ValueError(f"negative radius: {radius}")
+        self.grid = grid
+        self.radius = radius
+        self._r2 = radius * radius
+
+    def block_of(self, center: Point) -> tuple[int, int, int, int]:
+        """Clamped ``(i_lo, i_hi, j_lo, j_hi)`` of the disk's candidate block.
+
+        Same floor arithmetic as ``cells_overlapping_rect`` applied to
+        the disk's bounding box; ``i_lo > i_hi`` means the block misses
+        the space entirely.
+        """
+        g = self.grid
+        i_lo = int(math.floor((center.x - self.radius - g.space.xmin) / g.cell_width))
+        i_hi = int(math.floor((center.x + self.radius - g.space.xmin) / g.cell_width))
+        j_lo = int(math.floor((center.y - self.radius - g.space.ymin) / g.cell_height))
+        j_hi = int(math.floor((center.y + self.radius - g.space.ymin) / g.cell_height))
+        return (
+            max(i_lo, 0),
+            min(i_hi, g.nx - 1),
+            max(j_lo, 0),
+            min(j_hi, g.ny - 1),
+        )
+
+    def _classify_block(
+        self, center: Point, block: tuple[int, int, int, int]
+    ) -> np.ndarray:
+        """Relation codes of the disk at ``center`` vs every block cell."""
+        i_lo, i_hi, j_lo, j_hi = block
+        g = self.grid
+        x0 = g.space.xmin + np.arange(i_lo, i_hi + 1) * g.cell_width
+        x1 = x0 + g.cell_width
+        y0 = g.space.ymin + np.arange(j_lo, j_hi + 1) * g.cell_height
+        y1 = y0 + g.cell_height
+        dx_min = np.maximum(np.maximum(x0 - center.x, center.x - x1), 0.0)
+        dy_min = np.maximum(np.maximum(y0 - center.y, center.y - y1), 0.0)
+        dx_max = np.maximum(center.x - x0, x1 - center.x)
+        dy_max = np.maximum(center.y - y0, y1 - center.y)
+        min2 = dx_min[:, None] ** 2 + dy_min[None, :] ** 2
+        max2 = dx_max[:, None] ** 2 + dy_max[None, :] ** 2
+        codes = np.full(min2.shape, _P_CODE, dtype=np.int8)
+        codes[min2 > self._r2] = _N_CODE
+        codes[max2 <= self._r2] = _F_CODE
+        return codes
+
+    def classify_move(
+        self, old: Point, new: Point
+    ) -> list[tuple[CellId, CellRelation, CellRelation]]:
+        """All cells affected by a unit move, with both relations.
+
+        Returns ``(cell, relation_of_old_disk, relation_of_new_disk)``
+        for every cell touched by at least one of the two disks. When
+        the two candidate blocks overlap (the common case — location
+        reports are frequent relative to unit speed) one merged block is
+        classified for both disks at once; disjoint blocks are
+        classified separately, the far side being N by construction.
+        """
+        old_block = self.block_of(old)
+        new_block = self.block_of(new)
+        old_empty = old_block[0] > old_block[1] or old_block[2] > old_block[3]
+        new_empty = new_block[0] > new_block[1] or new_block[2] > new_block[3]
+        if old_empty and new_empty:
+            return []
+        if not old_empty and not new_empty and self._blocks_touch(old_block, new_block):
+            merged = (
+                min(old_block[0], new_block[0]),
+                max(old_block[1], new_block[1]),
+                min(old_block[2], new_block[2]),
+                max(old_block[3], new_block[3]),
+            )
+            return self._emit(merged, old, new)
+        out: list[tuple[CellId, CellRelation, CellRelation]] = []
+        if not old_empty:
+            out.extend(self._emit_one_sided(old_block, old, old_side=True))
+        if not new_empty:
+            out.extend(self._emit_one_sided(new_block, new, old_side=False))
+        return out
+
+    @staticmethod
+    def _blocks_touch(a: tuple[int, int, int, int], b: tuple[int, int, int, int]) -> bool:
+        return a[0] <= b[1] and b[0] <= a[1] and a[2] <= b[3] and b[2] <= a[3]
+
+    def _emit(
+        self, block: tuple[int, int, int, int], old: Point, new: Point
+    ) -> list[tuple[CellId, CellRelation, CellRelation]]:
+        codes_old = self._classify_block(old, block)
+        codes_new = self._classify_block(new, block)
+        touched = (codes_old != _N_CODE) | (codes_new != _N_CODE)
+        i_lo, _, j_lo, _ = block
+        return [
+            (
+                (i_lo + int(a), j_lo + int(b)),
+                _RELATION_OF_CODE[int(codes_old[a, b])],
+                _RELATION_OF_CODE[int(codes_new[a, b])],
+            )
+            for a, b in np.argwhere(touched)
+        ]
+
+    def _emit_one_sided(
+        self, block: tuple[int, int, int, int], center: Point, old_side: bool
+    ) -> list[tuple[CellId, CellRelation, CellRelation]]:
+        codes = self._classify_block(center, block)
+        i_lo, _, j_lo, _ = block
+        n = CellRelation.NO_INTERSECT
+        out = []
+        for a, b in np.argwhere(codes != _N_CODE):
+            rel = _RELATION_OF_CODE[int(codes[a, b])]
+            cell = (i_lo + int(a), j_lo + int(b))
+            out.append((cell, rel, n) if old_side else (cell, n, rel))
+        return out

@@ -12,10 +12,21 @@ This package provides:
   places with range and nearest-neighbour queries;
 * :mod:`repro.index.snapshot` — a best-first snapshot top-k-unsafe
   algorithm that descends the tree guided by per-subtree safety lower
-  bounds, pruning everything that cannot beat the current k-th result.
+  bounds, pruning everything that cannot beat the current k-th result;
+* :class:`~repro.index.unitgrid.UnitGridIndex` — a grid-bucketed
+  secondary index over the *moving units*, maintained incrementally per
+  location update, that turns the AP kernels' reachability prefilter
+  from an O(|U|) scan into a bucket-neighbourhood gather.
 """
 
 from repro.index.rtree import RTree, RTreeNode
 from repro.index.snapshot import SnapshotTopK, snapshot_top_k_unsafe
+from repro.index.unitgrid import UnitGridIndex
 
-__all__ = ["RTree", "RTreeNode", "SnapshotTopK", "snapshot_top_k_unsafe"]
+__all__ = [
+    "RTree",
+    "RTreeNode",
+    "SnapshotTopK",
+    "snapshot_top_k_unsafe",
+    "UnitGridIndex",
+]

@@ -1,0 +1,220 @@
+"""Grid-bucketed secondary index over the protecting units.
+
+Every AP kernel ultimately answers one question: *which units' protection
+disks can reach into this rectangle?* The linear answer scans all |U|
+unit positions per query; this index buckets the unit *rows* of a
+:class:`~repro.core.units.UnitIndex` by grid cell so a query only
+examines the O(⌈R/w⌉²) bucket neighbourhood of the rectangle — the same
+trick INSQ-style moving-query systems use for kNN candidate sets.
+
+The index is a *candidate generator*, not an approximation: the gathered
+rows still pass through the exact rect-distance filter, so callers see
+the identical reachable set (in the identical row order) as the linear
+scan, bit for bit.
+
+Bucketing is defensive about geometry: positions are clamped into the
+boundary buckets, and the query neighbourhood is clamped the same way,
+so units sitting exactly on (or numerically just outside) the space
+border are still found. The bucket assignment only has to be consistent
+between insert and remove — exactness comes from the final filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.grid.partition import GridPartition
+
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+
+
+class UnitGridIndex:
+    """Buckets unit rows by grid cell for fast reachability queries.
+
+    Parameters
+    ----------
+    grid:
+        the partition whose cells become the buckets (monitors pass
+        their own :class:`GridPartition`, keeping one geometry).
+    xs, ys:
+        the *live* position arrays of the owning ``UnitIndex``. The
+        arrays are mutated in place by location updates; the index holds
+        references, so gathered candidates always see current positions.
+    radius:
+        the shared protection range ``R``; queries inflate their
+        rectangle by it to find every disk that can reach inside.
+    """
+
+    def __init__(
+        self, grid: GridPartition, xs: np.ndarray, ys: np.ndarray, radius: float
+    ) -> None:
+        if radius <= 0:
+            raise ValueError("protection radius must be positive")
+        self.grid = grid
+        self.radius = radius
+        self._xs = xs
+        self._ys = ys
+        self.nx = grid.nx
+        self.ny = grid.ny
+        self._x0 = grid.space.xmin
+        self._y0 = grid.space.ymin
+        self._inv_w = 1.0 / grid.cell_width
+        self._inv_h = 1.0 / grid.cell_height
+        #: rows per linear bucket id, plus a per-bucket ndarray cache so
+        #: repeated gathers over a static neighbourhood avoid list->array
+        #: conversion; the cache entry is dropped whenever a move touches
+        #: the bucket.
+        self._rows: dict[int, list[int]] = {}
+        self._cache: dict[int, np.ndarray] = {}
+        #: gathered (concatenated + sorted) candidate rows per query
+        #: block. Monitors re-query the same static cell rectangles every
+        #: refresh while a single update re-buckets at most one unit, so
+        #: almost all gathers are exact repeats; each cached block is
+        #: registered with the buckets it covers and dropped when any of
+        #: them changes membership. Within-bucket moves keep the cache:
+        #: the candidate *set* only depends on bucket membership, and the
+        #: exact filter reads live positions.
+        self._block_cache: dict[tuple[int, int, int, int], np.ndarray] = {}
+        self._blocks_of_bucket: dict[int, set[tuple[int, int, int, int]]] = {}
+        for row in range(len(xs)):
+            self._rows.setdefault(
+                self._bucket(float(xs[row]), float(ys[row])), []
+            ).append(row)
+
+    # -- maintenance ------------------------------------------------------
+
+    def move(self, row: int, old_x: float, old_y: float, x: float, y: float) -> None:
+        """Re-bucket ``row`` after its unit moved (no-op within a bucket)."""
+        old_bucket = self._bucket(old_x, old_y)
+        new_bucket = self._bucket(x, y)
+        if old_bucket == new_bucket:
+            return
+        self._rows[old_bucket].remove(row)
+        if not self._rows[old_bucket]:
+            del self._rows[old_bucket]
+        self._invalidate_bucket(old_bucket)
+        self._rows.setdefault(new_bucket, []).append(row)
+        self._invalidate_bucket(new_bucket)
+
+    def _invalidate_bucket(self, bucket: int) -> None:
+        self._cache.pop(bucket, None)
+        for key in self._blocks_of_bucket.pop(bucket, ()):
+            self._block_cache.pop(key, None)
+
+    # -- queries ----------------------------------------------------------
+
+    def candidate_rows(self, rect: Rect) -> np.ndarray:
+        """Rows bucketed within reach of ``rect`` (sorted, pre-filter).
+
+        A superset of the reachable rows: every unit whose disk can
+        intersect ``rect`` lies in a bucket whose column/row range the
+        inflated rectangle overlaps (clamping at the space border keeps
+        clamped border units inside the searched range).
+
+        The returned array may be a shared cache entry — treat it as
+        read-only.
+        """
+        i_lo = self._col(rect.xmin - self.radius)
+        i_hi = self._col(rect.xmax + self.radius)
+        j_lo = self._row(rect.ymin - self.radius)
+        j_hi = self._row(rect.ymax + self.radius)
+        key = (i_lo, i_hi, j_lo, j_hi)
+        cached_block = self._block_cache.get(key)
+        if cached_block is not None:
+            return cached_block
+        chunks: list[np.ndarray] = []
+        for i in range(i_lo, i_hi + 1):
+            base = i * self.ny
+            for j in range(j_lo, j_hi + 1):
+                bucket = base + j
+                rows = self._rows.get(bucket)
+                if not rows:
+                    continue
+                cached = self._cache.get(bucket)
+                if cached is None:
+                    cached = np.array(rows, dtype=np.int64)
+                    self._cache[bucket] = cached
+                chunks.append(cached)
+        if not chunks:
+            gathered = _EMPTY_ROWS
+        else:
+            gathered = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            # sorted row order makes downstream kernels (notably weighted
+            # sums) bit-identical to the linear scan over all rows.
+            gathered = np.sort(gathered)
+        self._block_cache[key] = gathered
+        for i in range(i_lo, i_hi + 1):
+            base = i * self.ny
+            for j in range(j_lo, j_hi + 1):
+                self._blocks_of_bucket.setdefault(base + j, set()).add(key)
+        return gathered
+
+    def units_reaching(self, rect: Rect) -> tuple[np.ndarray, int]:
+        """Rows whose protection disk reaches into ``rect``, exactly.
+
+        Returns the sorted reachable rows and the number of candidate
+        rows the prefilter examined (the work the bucketing saved is
+        ``len(index) - candidates``).
+        """
+        rows = self.candidate_rows(rect)
+        if len(rows) == 0:
+            return rows, 0
+        ux = self._xs[rows]
+        uy = self._ys[rows]
+        # identical arithmetic to the linear reachability scan.
+        dx = np.maximum(rect.xmin - ux, 0.0)
+        dx = np.maximum(dx, ux - rect.xmax)
+        dy = np.maximum(rect.ymin - uy, 0.0)
+        dy = np.maximum(dy, uy - rect.ymax)
+        r = self.radius
+        return rows[dx * dx + dy * dy <= r * r], len(rows)
+
+    def bucket_columns(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorised linear bucket id per point (clamped into the grid)."""
+        bi = np.clip(
+            np.floor((xs - self._x0) * self._inv_w).astype(np.int64), 0, self.nx - 1
+        )
+        bj = np.clip(
+            np.floor((ys - self._y0) * self._inv_h).astype(np.int64), 0, self.ny - 1
+        )
+        return bi * self.ny + bj
+
+    # -- diagnostics -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._rows.values())
+
+    def occupied_buckets(self) -> int:
+        return len(self._rows)
+
+    def check(self) -> list[str]:
+        """Invariant self-check (tests): every row in its position's bucket."""
+        problems = []
+        seen: set[int] = set()
+        for bucket, rows in self._rows.items():
+            for row in rows:
+                if row in seen:
+                    problems.append(f"row {row} bucketed twice")
+                seen.add(row)
+                expected = self._bucket(float(self._xs[row]), float(self._ys[row]))
+                if expected != bucket:
+                    problems.append(
+                        f"row {row} in bucket {bucket}, position says {expected}"
+                    )
+        if len(seen) != len(self._xs):
+            problems.append(f"{len(self._xs) - len(seen)} rows missing from buckets")
+        return problems
+
+    # -- internals ---------------------------------------------------------
+
+    def _bucket(self, x: float, y: float) -> int:
+        return self._col(x) * self.ny + self._row(y)
+
+    def _col(self, x: float) -> int:
+        i = int((x - self._x0) * self._inv_w)
+        return 0 if i < 0 else (self.nx - 1 if i >= self.nx else i)
+
+    def _row(self, y: float) -> int:
+        j = int((y - self._y0) * self._inv_h)
+        return 0 if j < 0 else (self.ny - 1 if j >= self.ny else j)

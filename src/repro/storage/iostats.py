@@ -11,6 +11,9 @@ class IoStats:
 
     ``page_reads`` counts physical reads that missed every cache;
     ``buffered_reads`` counts reads satisfied by a buffer pool;
+    ``array_hits`` counts page equivalents served from the columnar
+    (SoA) snapshot cache instead of the page level — re-evaluations of
+    an already-projected cell are memory traffic, not I/O;
     ``page_writes`` counts physical writes (only the initial load writes
     pages — the set of places is static during monitoring).
     """
@@ -18,20 +21,25 @@ class IoStats:
     page_reads: int = 0
     buffered_reads: int = 0
     page_writes: int = 0
+    array_hits: int = 0
 
     def reset(self) -> None:
         """Zero all counters (called by the bench harness between phases)."""
         self.page_reads = 0
         self.buffered_reads = 0
         self.page_writes = 0
+        self.array_hits = 0
 
     def snapshot(self) -> "IoStats":
         """An independent copy of the current counters."""
-        return IoStats(self.page_reads, self.buffered_reads, self.page_writes)
+        return IoStats(
+            self.page_reads, self.buffered_reads, self.page_writes, self.array_hits
+        )
 
     def __sub__(self, other: "IoStats") -> "IoStats":
         return IoStats(
             self.page_reads - other.page_reads,
             self.buffered_reads - other.buffered_reads,
             self.page_writes - other.page_writes,
+            self.array_hits - other.array_hits,
         )

@@ -1,0 +1,182 @@
+"""Unit tests for the benchmark-regression guard."""
+
+import copy
+
+import pytest
+
+from repro.bench.guard import (
+    BENCH_NAME,
+    SCHEMA_VERSION,
+    GuardReport,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+
+
+def make_doc(**metric_overrides):
+    metrics = {
+        "wall_seconds": 0.5,
+        "maintain_seconds": 0.3,
+        "access_seconds": 0.2,
+        "candidate_units": 10_000,
+        "reachable_units": 2_000,
+        "cells_accessed": 40,
+        "distance_rows": 123_456,
+        "page_reads": 300,
+        "array_hits": 90,
+        "final_sk": 3.0,
+    }
+    metrics.update(metric_overrides)
+    return {
+        "bench": BENCH_NAME,
+        "version": SCHEMA_VERSION,
+        "machine": {"python": "3.11"},
+        "profiles": {
+            "smoke": {
+                "workload": {"n_units": 200, "seed": 7},
+                "schemes": {"opt": {"indexed": dict(metrics)}},
+            }
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_documents_match(self):
+        report = compare(make_doc(), make_doc())
+        assert report.findings == []
+        assert report.ok(strict=True)
+        assert "match" in report.format()
+
+    def test_machine_metadata_is_not_compared(self):
+        current = make_doc()
+        current["machine"] = {"python": "3.12", "numpy": "9.9"}
+        assert compare(make_doc(), current).findings == []
+
+    def test_counter_regression_is_flagged_but_not_fatal(self):
+        current = make_doc(candidate_units=12_000)  # +20%
+        report = compare(make_doc(), current)
+        assert [f.kind for f in report.findings] == ["regression"]
+        assert not report.findings[0].wall
+        assert report.ok()  # default policy: warn only
+        assert not report.ok(strict=True)
+
+    def test_counter_improvement_is_flagged(self):
+        report = compare(make_doc(), make_doc(distance_rows=60_000))
+        assert [f.kind for f in report.findings] == ["improvement"]
+        assert report.ok(strict=True)
+
+    def test_counter_within_tolerance_passes(self):
+        report = compare(make_doc(), make_doc(candidate_units=10_100))  # +1%
+        assert report.findings == []
+
+    def test_wall_regression_never_fails_even_strict(self):
+        report = compare(make_doc(), make_doc(wall_seconds=5.0))
+        assert [f.kind for f in report.findings] == ["regression"]
+        assert report.findings[0].wall
+        assert report.ok(strict=True)
+
+    def test_bench_name_mismatch_is_structural(self):
+        current = make_doc()
+        current["bench"] = "something-else"
+        report = compare(make_doc(), current)
+        assert report.structural
+        assert not report.ok()
+
+    def test_schema_version_mismatch_is_structural(self):
+        current = make_doc()
+        current["version"] = SCHEMA_VERSION + 1
+        assert not compare(make_doc(), current).ok()
+
+    def test_workload_parameter_change_is_structural(self):
+        current = make_doc()
+        current["profiles"]["smoke"]["workload"]["seed"] = 8
+        report = compare(make_doc(), current)
+        assert report.structural
+        assert not report.ok()
+
+    def test_scheme_set_mismatch_is_structural(self):
+        current = make_doc()
+        current["profiles"]["smoke"]["schemes"]["basic"] = copy.deepcopy(
+            current["profiles"]["smoke"]["schemes"]["opt"]
+        )
+        assert not compare(make_doc(), current).ok()
+
+    def test_mode_set_mismatch_is_structural(self):
+        current = make_doc()
+        modes = current["profiles"]["smoke"]["schemes"]["opt"]
+        modes["linear"] = copy.deepcopy(modes["indexed"])
+        assert not compare(make_doc(), current).ok()
+
+    def test_profile_missing_from_baseline_is_structural(self):
+        current = make_doc()
+        current["profiles"]["default"] = copy.deepcopy(
+            current["profiles"]["smoke"]
+        )
+        assert not compare(make_doc(), current).ok()
+
+    def test_current_may_skip_baseline_profiles(self):
+        # a smoke-only CI run must not be failed for skipping "default".
+        baseline = make_doc()
+        baseline["profiles"]["default"] = copy.deepcopy(
+            baseline["profiles"]["smoke"]
+        )
+        assert compare(baseline, make_doc()).findings == []
+
+    def test_missing_metric_is_structural(self):
+        current = make_doc()
+        del current["profiles"]["smoke"]["schemes"]["opt"]["indexed"][
+            "distance_rows"
+        ]
+        assert not compare(make_doc(), current).ok()
+
+    def test_zero_baseline_counter_change_is_flagged(self):
+        baseline = make_doc(array_hits=0)
+        report = compare(baseline, make_doc(array_hits=5))
+        assert [f.kind for f in report.findings] == ["regression"]
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "bench.json"
+        doc = make_doc()
+        write_baseline(path, doc)
+        assert load_baseline(path) == doc
+        # canonical form: sorted keys and a trailing newline.
+        text = path.read_text()
+        assert text.endswith("}\n")
+        assert text.index('"bench"') < text.index('"version"')
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_baseline(tmp_path / "absent.json")
+
+
+def test_report_counts_by_kind():
+    report = compare(
+        make_doc(), make_doc(candidate_units=20_000, distance_rows=1_000)
+    )
+    assert len(report.regressions) == 1
+    assert len(report.improvements) == 1
+    assert "1 regression" in report.format()
+
+
+def test_committed_baseline_is_structurally_current():
+    """The repo's own BENCH_hotpath.json must parse and self-compare clean."""
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    doc = load_baseline(root / "BENCH_hotpath.json")
+    report = compare(doc, doc)
+    assert report.findings == []
+    assert set(doc["profiles"]) == {"smoke", "default"}
+    for prof in doc["profiles"].values():
+        assert set(prof["schemes"]) == {"naive", "basic", "opt"}
+        for modes in prof["schemes"].values():
+            assert set(modes) == {"indexed", "linear"}

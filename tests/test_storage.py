@@ -163,15 +163,38 @@ class TestPlaceStore:
         assert list(arrays.ids) == [p.place_id for p in places]
         assert list(arrays.required) == [p.required_protection for p in places]
 
-    def test_cell_arrays_charges_like_read(self, grid):
+    def test_cell_arrays_charges_first_touch_only(self, grid):
         store = PlaceStore(grid, make_places(100, grid), page_capacity=8)
         base = store.io_stats.snapshot()
         store.cell_arrays((0, 0))
         first = store.io_stats.snapshot() - base
         store.cell_arrays((0, 0))
         second = store.io_stats.snapshot() - base
-        # second access costs the same page walk (cache only skips
-        # object construction, not the simulated I/O).
+        # the first touch pays the page walk; the repeat is served from
+        # the SoA cache and shows up as array hits instead of reads.
+        assert first.page_reads > 0
+        assert first.array_hits == 0
+        assert second.page_reads == first.page_reads
+        assert second.array_hits == first.page_reads
+
+    def test_cell_arrays_hits_counted_in_page_equivalents(self, grid):
+        store = PlaceStore(grid, make_places(100, grid), page_capacity=4)
+        pages = len(store.read_cell((0, 0))) // 4 + (len(store.read_cell((0, 0))) % 4 > 0)
+        store.cell_arrays((0, 0))
+        before = store.io_stats.array_hits
+        store.cell_arrays((0, 0))
+        store.cell_arrays((0, 0))
+        assert store.io_stats.array_hits - before == 2 * pages
+
+    def test_read_cell_with_arrays_still_charges_every_time(self, grid):
+        store = PlaceStore(grid, make_places(100, grid), page_capacity=8)
+        base = store.io_stats.snapshot()
+        store.read_cell_with_arrays((0, 0))
+        first = store.io_stats.snapshot() - base
+        store.read_cell_with_arrays((0, 0))
+        second = store.io_stats.snapshot() - base
+        # loading the Place records really re-reads the pages; only the
+        # pure columnar view is cache-served.
         assert second.page_reads == 2 * first.page_reads
 
     def test_buffered_store_reduces_physical_reads(self, grid):
