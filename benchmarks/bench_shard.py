@@ -1,0 +1,270 @@
+"""Sharded-execution benchmark: fan-out routing and the global merge.
+
+Runs the OptCTUP scheme over a pinned-seed workload unsharded (``mono``)
+and sharded (``s1``, ``s4``, serial and ``s4p`` with a 4-thread drain
+pool) and writes a canonical JSON document. ``repro.bench.guard``
+compares it against the committed baseline (``BENCH_shard.json`` at the
+repository root): structural mismatch fails, numeric drift only warns.
+
+The deterministic counters tell the sharding story directly:
+``sync_deliveries`` vs ``full_deliveries`` is the routing win (most
+shards only sync unit positions), and ``merge_refills`` /
+``merge_records_pulled`` is the cost of recombining partial top-k lists.
+``updates_per_s`` is recorded for information only — throughput is not a
+guarded metric (the guard treats increases as regressions).
+
+CLI (also wired into CI as a smoke job)::
+
+    python benchmarks/bench_shard.py --smoke --check   # fast CI guard
+    python benchmarks/bench_shard.py --write-baseline  # refresh baseline
+
+Running under pytest executes the smoke profile, checks mode agreement,
+and runs the structural comparison against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.bench import build_workload
+from repro.bench.guard import (
+    SCHEMA_VERSION,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from repro.core import CTUPConfig
+from repro.engine.session import MonitorSession
+from repro.api import make_monitor
+from repro.validate import Oracle
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+BENCH_NAME = "shard"
+SCHEME = "opt"
+
+#: execution modes: (shards, parallelism); 0 shards = the plain scheme.
+MODES = {
+    "mono": (0, 0),
+    "s1": (1, 0),
+    "s4": (4, 0),
+    "s4p": (4, 4),
+}
+
+#: deterministic counters guarded tightly (absent ones are skipped, so
+#: the sharding-only counters don't break the ``mono`` comparison).
+COUNTER_METRICS = (
+    "cells_accessed",
+    "distance_rows",
+    "final_sk",
+    "full_deliveries",
+    "sync_deliveries",
+    "merge_refills",
+    "merge_records_pulled",
+)
+WALL_METRICS = ("wall_seconds",)
+
+#: pinned workloads; these parameters are part of the baseline's
+#: identity — changing them is a structural break, not a regression.
+PROFILES = {
+    "smoke": dict(n_units=200, n_places=2_000, stream_length=30, seed=7),
+    "default": dict(n_units=1_000, n_places=15_000, stream_length=200, seed=7),
+}
+K = 5
+
+
+def machine_metadata() -> dict:
+    import platform
+
+    import numpy as np
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+    }
+
+
+def _run_mode(workload, config: CTUPConfig, shards: int, parallelism: int) -> dict:
+    monitor = make_monitor(
+        SCHEME,
+        places=workload.places,
+        units=workload.units,
+        config=config,
+        shards=shards,
+        parallelism=parallelism,
+    )
+    monitor.initialize()
+    sharded = shards != 0
+    counters_of = monitor.merged_counters if sharded else monitor.counters.snapshot
+    after_init = counters_of()
+    session = MonitorSession(monitor, track_changes=False)
+    session.start()
+    start = time.perf_counter()
+    n = session.run(workload.stream)
+    wall = time.perf_counter() - start
+    c = counters_of() - after_init
+    metrics = {
+        "wall_seconds": round(wall, 4),
+        "updates_per_s": round(n / wall, 1) if wall else 0.0,
+        "cells_accessed": c.cells_accessed,
+        "distance_rows": c.distance_rows,
+        "final_sk": monitor.sk(),
+    }
+    if sharded:
+        metrics.update(
+            full_deliveries=monitor.full_deliveries,
+            sync_deliveries=monitor.sync_deliveries,
+            merge_refills=monitor.merger.stats.refills,
+            merge_records_pulled=monitor.merger.stats.records_pulled,
+        )
+        monitor.close()
+    return metrics
+
+
+def run_profile(name: str, validate: bool = True) -> dict:
+    params = PROFILES[name]
+    workload = build_workload(**params)
+    config = CTUPConfig(k=K)
+    modes = {
+        mode: _run_mode(workload, config, shards, parallelism)
+        for mode, (shards, parallelism) in MODES.items()
+    }
+    if validate:
+        oracle = Oracle(workload.places, workload.units)
+        for update in workload.stream:
+            oracle.apply(update)
+        true_sk = oracle.sk(K)
+        for mode, metrics in modes.items():
+            if metrics["final_sk"] != true_sk:
+                raise AssertionError(
+                    f"{name}/{mode}: final SK {metrics['final_sk']} "
+                    f"!= oracle {true_sk}"
+                )
+    return {"workload": {**params, "k": K}, "schemes": {SCHEME: modes}}
+
+
+def run_bench(profiles: list[str], validate: bool = True) -> dict:
+    return {
+        "bench": BENCH_NAME,
+        "version": SCHEMA_VERSION,
+        "machine": machine_metadata(),
+        "profiles": {name: run_profile(name, validate) for name in profiles},
+    }
+
+
+def _summary_lines(doc: dict) -> list[str]:
+    lines = []
+    for profile, prof in doc["profiles"].items():
+        modes = prof["schemes"][SCHEME]
+        mono = modes["mono"]
+        for mode, m in modes.items():
+            detail = ""
+            if "full_deliveries" in m:
+                total = m["full_deliveries"] + m["sync_deliveries"]
+                detail = (
+                    f"  full {m['full_deliveries']}/{total} "
+                    f"refills {m['merge_refills']}"
+                )
+            lines.append(
+                f"{profile:8} {mode:5} {m['updates_per_s']:9.1f} up/s "
+                f"({m['wall_seconds'] / mono['wall_seconds'] if mono['wall_seconds'] else 1:4.2f}x mono wall, "
+                f"sk {'==' if m['final_sk'] == mono['final_sk'] else '!='})"
+                f"{detail}"
+            )
+    return lines
+
+
+def _guard(baseline: dict, doc: dict) -> "GuardReport":
+    return compare(
+        baseline,
+        doc,
+        bench=BENCH_NAME,
+        counter_metrics=COUNTER_METRICS,
+        wall_metrics=WALL_METRICS,
+    )
+
+
+# -- pytest entry point (the CI smoke job runs this file directly) --------
+
+
+def test_shard_smoke_matches_baseline():
+    doc = run_bench(["smoke"])
+    modes = doc["profiles"]["smoke"]["schemes"][SCHEME]
+    mono = modes["mono"]
+    for mode, m in modes.items():
+        # every execution mode reports the exact same SK.
+        assert m["final_sk"] == mono["final_sk"], mode
+    # one shard performs exactly the unsharded work.
+    assert modes["s1"]["cells_accessed"] == mono["cells_accessed"]
+    assert modes["s1"]["distance_rows"] == mono["distance_rows"]
+    assert modes["s1"]["sync_deliveries"] == 0
+    # the thread pool must not change any deterministic counter.
+    for metric in COUNTER_METRICS:
+        assert modes["s4p"][metric] == modes["s4"][metric], metric
+    # routing pays off: most deliveries are cheap unit-position syncs.
+    assert modes["s4"]["sync_deliveries"] > modes["s4"]["full_deliveries"]
+    report = _guard(load_baseline(BASELINE_PATH), doc)
+    # counters may drift with numpy/python versions (warned, tolerated);
+    # a structural mismatch means the committed baseline is stale.
+    assert report.ok(), report.format()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="run only the fast smoke profile"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline "
+        "(exit 1 on structural mismatch)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --check: also fail on counter regressions",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"write the results to {BASELINE_PATH.name}",
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the final-SK oracle validation",
+    )
+    args = parser.parse_args(argv)
+
+    profiles = ["smoke"] if args.smoke else ["smoke", "default"]
+    doc = run_bench(profiles, validate=not args.no_validate)
+    print(json.dumps(doc["machine"], sort_keys=True))
+    for line in _summary_lines(doc):
+        print(line)
+
+    status = 0
+    if args.check:
+        try:
+            baseline = load_baseline(BASELINE_PATH)
+        except FileNotFoundError:
+            print(f"no baseline at {BASELINE_PATH}; run --write-baseline first")
+            return 1
+        report = _guard(baseline, doc)
+        print(report.format())
+        if not report.ok(strict=args.strict):
+            status = 1
+    if args.write_baseline:
+        write_baseline(BASELINE_PATH, doc)
+        print(f"baseline written to {BASELINE_PATH}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

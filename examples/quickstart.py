@@ -8,7 +8,7 @@ monitor's own cost counters.
 Run:  python examples/quickstart.py
 """
 
-from repro import CTUPConfig, OptCTUP
+from repro import CTUPConfig, open_session
 from repro.bench.reporting import format_table
 from repro.roadnet import NetworkMobility, grid_network
 from repro.workloads import generate_places, record_stream
@@ -26,8 +26,9 @@ def main() -> None:
     )
     units = mobility.initial_units(config.protection_range)
 
-    monitor = OptCTUP(config, places, units)
-    report = monitor.initialize()
+    session = open_session("opt", places=places, units=units, config=config)
+    report = session.start()
+    monitor = session.monitor
     print(
         f"initialized in {report.seconds * 1e3:.1f} ms "
         f"(SK = {report.sk:+.0f}, {report.maintained_places} places maintained "
@@ -35,7 +36,7 @@ def main() -> None:
     )
 
     stream = record_stream(mobility, 1_000)
-    monitor.run_stream(stream)
+    session.run(stream)
 
     print(
         format_table(

@@ -9,21 +9,26 @@ the naïve baseline, the substrates they rest on (grid partition,
 two-level storage, network-based moving-object workload) and the full
 benchmark harness reproducing the paper's evaluation.
 
-Quickstart::
+Quickstart (the ``repro.api`` facade is the supported entry point)::
 
-    from repro import CTUPConfig, OptCTUP, generate_places, generate_units
+    from repro import CTUPConfig, generate_places, generate_units, open_session
     from repro.workloads import RandomWalkMobility, record_stream
 
     config = CTUPConfig(k=10)
     places = generate_places(5000, seed=1)
     units = generate_units(100, config.protection_range, seed=2)
-    monitor = OptCTUP(config, places, units)
-    monitor.initialize()
+    session = open_session("opt", places=places, units=units, config=config)
+    session.start()
     for update in record_stream(RandomWalkMobility(units, seed=3), 1000):
-        monitor.process(update)
-        print(monitor.top_k()[0])
+        session.feed(update)
+    session.flush()
+    print(session.monitor.top_k()[0])
+
+``make_monitor(..., shards=4)`` swaps in the sharded execution layer
+(:mod:`repro.shard`) behind the same contract.
 """
 
+from repro.api import make_monitor, open_session
 from repro.core import (
     BasicCTUP,
     ChangeTracker,
@@ -33,12 +38,14 @@ from repro.core import (
     OptCTUP,
     TopKChange,
 )
+from repro.engine import MonitorSession
 from repro.geometry import Circle, Point, Rect
 from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+from repro.shard import GlobalTopK, ShardedMonitor, ShardPlan, ShardRouter
 from repro.validate import Oracle
 from repro.workloads import generate_places, generate_units
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CTUPConfig",
@@ -46,6 +53,13 @@ __all__ = [
     "NaiveCTUP",
     "BasicCTUP",
     "OptCTUP",
+    "ShardedMonitor",
+    "ShardPlan",
+    "ShardRouter",
+    "GlobalTopK",
+    "make_monitor",
+    "open_session",
+    "MonitorSession",
     "ChangeTracker",
     "TopKChange",
     "Place",

@@ -1,0 +1,158 @@
+"""The one front door to the reproduction.
+
+Examples, benchmarks and deployments used to hand-wire scheme
+constructors, :class:`~repro.engine.session.MonitorSession`,
+``run_stream`` loops and ``ChangeTracker`` instances, each slightly
+differently. This facade gives them a single stable surface:
+
+>>> from repro.api import open_session
+>>> session = open_session(
+...     "opt", places=places, units=units, config=CTUPConfig(k=10)
+... )
+>>> session.start()
+>>> for update in stream:
+...     session.feed(update)
+>>> session.flush()
+>>> session.monitor.top_k()
+
+:func:`make_monitor` builds any registered scheme — including the
+sharded wrapper (``shards=4``) — and :func:`open_session` wraps the
+monitor in a configured session, the one supported way to drive a
+stream (batching, change tracking, audits and hooks included).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.core.basic import BasicCTUP
+from repro.core.config import CTUPConfig
+from repro.core.incremental import IncrementalNaiveCTUP
+from repro.core.monitor import CTUPMonitor
+from repro.core.naive import NaiveCTUP
+from repro.core.opt import OptCTUP
+from repro.engine.hooks import MonitorHooks
+from repro.engine.session import MonitorSession
+from repro.model import Place, Unit
+from repro.shard.monitor import ShardedMonitor
+from repro.shard.plan import ShardPlan
+
+#: every registered single-monitor scheme, by its benchmark-table name.
+SCHEMES: dict[str, Callable] = {
+    NaiveCTUP.name: NaiveCTUP,
+    BasicCTUP.name: BasicCTUP,
+    OptCTUP.name: OptCTUP,
+    IncrementalNaiveCTUP.name: IncrementalNaiveCTUP,
+}
+
+
+def scheme_factory(scheme: str | Callable) -> Callable:
+    """Resolve a scheme name (or pass a factory through).
+
+    A factory is any callable ``(config, places, units) -> CTUPMonitor``
+    — the scheme classes themselves qualify.
+    """
+    if callable(scheme):
+        return scheme
+    try:
+        return SCHEMES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; pick one of {sorted(SCHEMES)} "
+            "or pass a factory"
+        ) from None
+
+
+def make_monitor(
+    scheme: str | Callable = "opt",
+    *,
+    places: Sequence[Place],
+    units: Iterable[Unit],
+    config: CTUPConfig | None = None,
+    shards: int | Sequence[int] | ShardPlan = 0,
+    parallelism: int = 0,
+    shard_strategy: str = "striped",
+) -> CTUPMonitor:
+    """Build a monitor of any scheme, optionally sharded.
+
+    ``shards=0`` (the default) returns the plain scheme monitor;
+    anything else — a shard count, an explicit
+    :class:`~repro.shard.plan.ShardPlan`, or a per-cell shard-id
+    sequence — wraps the scheme in a
+    :class:`~repro.shard.monitor.ShardedMonitor` (with ``parallelism``
+    worker threads draining the shards when > 1). The returned monitor
+    is not yet initialized.
+    """
+    config = config if config is not None else CTUPConfig()
+    factory = scheme_factory(scheme)
+    if isinstance(shards, int) and shards == 0:
+        return factory(config, places, units)
+    return ShardedMonitor(
+        config,
+        places,
+        units,
+        shards=shards,
+        scheme=factory,
+        parallelism=parallelism,
+        strategy=shard_strategy,
+    )
+
+
+def open_session(
+    scheme: str | Callable = "opt",
+    *,
+    places: Sequence[Place] | None = None,
+    units: Iterable[Unit] | None = None,
+    config: CTUPConfig | None = None,
+    monitor: CTUPMonitor | None = None,
+    shards: int | Sequence[int] | ShardPlan = 0,
+    parallelism: int = 0,
+    shard_strategy: str = "striped",
+    batch_size: int = 0,
+    audit_every: int = 0,
+    hooks: Sequence[MonitorHooks] = (),
+    track_changes: bool = True,
+) -> MonitorSession:
+    """A configured :class:`MonitorSession`, ready to ``start()``.
+
+    Either pass ``places`` + ``units`` (plus the scheme/shard knobs of
+    :func:`make_monitor`) to build the monitor here, or pass an existing
+    ``monitor`` — e.g. one restored from a checkpoint — to adopt it.
+    The session knobs (``batch_size``, ``audit_every``, ``hooks``,
+    ``track_changes``) are forwarded unchanged.
+    """
+    if monitor is None:
+        if places is None or units is None:
+            raise ValueError(
+                "open_session needs either a monitor or places + units"
+            )
+        monitor = make_monitor(
+            scheme,
+            places=places,
+            units=units,
+            config=config,
+            shards=shards,
+            parallelism=parallelism,
+            shard_strategy=shard_strategy,
+        )
+    elif places is not None or units is not None:
+        raise ValueError("pass either a monitor or places/units, not both")
+    return MonitorSession(
+        monitor,
+        batch_size=batch_size,
+        audit_every=audit_every,
+        hooks=hooks,
+        track_changes=track_changes,
+    )
+
+
+__all__ = [
+    "SCHEMES",
+    "scheme_factory",
+    "make_monitor",
+    "open_session",
+    "MonitorSession",
+    "ShardedMonitor",
+    "ShardPlan",
+    "CTUPConfig",
+]

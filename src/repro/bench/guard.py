@@ -139,10 +139,12 @@ def _compare_metrics(
     findings: list[GuardFinding],
     counter_tolerance: float,
     wall_tolerance: float,
+    counter_metrics: tuple[str, ...] = COUNTER_METRICS,
+    wall_metrics: tuple[str, ...] = WALL_METRICS,
 ) -> None:
     for metric, tolerance, is_wall in [
-        *((m, counter_tolerance, False) for m in COUNTER_METRICS),
-        *((m, wall_tolerance, True) for m in WALL_METRICS),
+        *((m, counter_tolerance, False) for m in counter_metrics),
+        *((m, wall_tolerance, True) for m in wall_metrics),
     ]:
         if metric not in base and metric not in current:
             continue
@@ -175,11 +177,21 @@ def compare(
     current: dict[str, Any],
     counter_tolerance: float = COUNTER_TOLERANCE,
     wall_tolerance: float = WALL_TOLERANCE,
+    *,
+    bench: str = BENCH_NAME,
+    counter_metrics: tuple[str, ...] = COUNTER_METRICS,
+    wall_metrics: tuple[str, ...] = WALL_METRICS,
 ) -> GuardReport:
-    """Classify every difference between two bench documents."""
+    """Classify every difference between two bench documents.
+
+    The defaults guard the hot-path bench; other benchmarks pass their
+    own ``bench`` name and metric tuples (metrics absent from both
+    documents are ignored, so one guard serves every document shape that
+    follows the profiles/schemes/modes layout).
+    """
     findings: list[GuardFinding] = []
 
-    for key, expected in (("bench", BENCH_NAME), ("version", SCHEMA_VERSION)):
+    for key, expected in (("bench", bench), ("version", SCHEMA_VERSION)):
         for name, doc in (("baseline", baseline), ("current", current)):
             if doc.get(key) != expected:
                 findings.append(
@@ -250,5 +262,7 @@ def compare(
                     findings,
                     counter_tolerance,
                     wall_tolerance,
+                    counter_metrics,
+                    wall_metrics,
                 )
     return GuardReport(findings)

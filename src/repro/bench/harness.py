@@ -6,23 +6,22 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.api import SCHEMES
 from repro.bench.workload import Workload
-from repro.core import BasicCTUP, CTUPConfig, NaiveCTUP, OptCTUP
+from repro.core import CTUPConfig
 from repro.core.metrics import InitReport, MonitorCounters
 from repro.core.units import UnitKernelStats
 from repro.core.monitor import CTUPMonitor
+from repro.engine.session import MonitorSession
 from repro.model import Place, Unit
 from repro.storage.iostats import IoStats
 from repro.validate import Oracle
 
 MonitorFactory = Callable[[CTUPConfig, Sequence[Place], Sequence[Unit]], CTUPMonitor]
 
-#: the three schemes of §VI by their table name.
-MONITOR_FACTORIES: dict[str, MonitorFactory] = {
-    "naive": NaiveCTUP,
-    "basic": BasicCTUP,
-    "opt": OptCTUP,
-}
+#: the measurable schemes by their table name — the ``repro.api``
+#: registry is the single source of truth.
+MONITOR_FACTORIES: dict[str, MonitorFactory] = dict(SCHEMES)
 
 
 @dataclass
@@ -102,8 +101,12 @@ def run_monitor(
     after_init = monitor.counters.snapshot()
     after_init_units = monitor.units.stats.snapshot()
     stream = workload.stream if updates is None else workload.stream.prefix(updates)
+    # change tracking is off: reading top_k() after every update would
+    # charge result-view I/O to the measured run.
+    session = MonitorSession(monitor, track_changes=False)
+    session.start()
     start = time.perf_counter()
-    n = monitor.run_stream(stream)
+    n = session.run(stream)
     wall = time.perf_counter() - start
     validated = False
     if validate:

@@ -78,6 +78,23 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--units", type=int, default=50)
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(
+        "--scheme",
+        default="opt",
+        help="monitoring scheme (a repro.api.SCHEMES key; default opt)",
+    )
+    simulate.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run the scheme sharded over this many shards (0 = unsharded)",
+    )
+    simulate.add_argument(
+        "--parallelism",
+        type=int,
+        default=0,
+        help="with --shards: drain shards on this many worker threads",
+    )
+    simulate.add_argument(
         "--map", action="store_true", help="render the final cell map"
     )
     return parser
@@ -122,7 +139,18 @@ def _cmd_report(out: str, scale: float | None, seed: int, only) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from repro.api import make_monitor
     from repro.sim import Simulation
+
+    def factory(config, places, units):
+        return make_monitor(
+            args.scheme,
+            places=places,
+            units=units,
+            config=config,
+            shards=args.shards,
+            parallelism=args.parallelism,
+        )
 
     sim = Simulation.from_scenario(
         args.scenario,
@@ -130,6 +158,7 @@ def _cmd_simulate(args) -> int:
         n_places=args.places,
         n_units=args.units,
         seed=args.seed,
+        monitor_factory=factory,
     )
     outcome = sim.run(updates=args.updates)
     summary = outcome.summary

@@ -23,12 +23,24 @@ from repro.validate import Oracle
 
 def audit_monitor(monitor: CTUPMonitor) -> list[str]:
     """All invariant violations of a monitor's current state."""
+    # local import: repro.shard builds on repro.core, not the reverse.
+    from repro.shard.monitor import ShardedMonitor
+
     oracle = Oracle(
         list(monitor.store.iter_all_places()), list(monitor.units)
     )
     problems: list[str] = []
     problems.extend(_audit_result(monitor, oracle))
-    if isinstance(monitor, OptCTUP):
+    if isinstance(monitor, ShardedMonitor):
+        # the global result was checked above against the full oracle;
+        # every shard is additionally a complete monitor over its own
+        # sub-population and must satisfy its scheme's invariants.
+        for shard in monitor.shards:
+            problems.extend(
+                f"shard[{shard.shard_id}]: {problem}"
+                for problem in audit_monitor(shard.monitor)
+            )
+    elif isinstance(monitor, OptCTUP):
         problems.extend(_audit_opt(monitor, oracle))
     elif isinstance(monitor, BasicCTUP):
         problems.extend(_audit_basic(monitor, oracle))

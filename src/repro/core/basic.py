@@ -167,6 +167,12 @@ class BasicCTUP(CTUPMonitor):
     def top_k(self) -> list[SafetyRecord]:
         return self.maintained.top_k(self.config.k)
 
+    def partial_top_k(self, m: int) -> list[SafetyRecord]:
+        # every place of every illuminated cell is maintained, and every
+        # dark-cell place sits at or above its cell bound >= SK — so the
+        # maintained table can answer the prefix query for any m.
+        return self.maintained.top_k(m)
+
     def sk(self) -> float:
         return self.maintained.sk(self.config.k)
 

@@ -95,7 +95,11 @@ class IncrementalNaiveCTUP(CTUPMonitor):
         return 0
 
     def top_k(self) -> list[SafetyRecord]:
-        rows = topk_rows(self._ids, self._safety, self.config.k)
+        return self.partial_top_k(self.config.k)
+
+    def partial_top_k(self, m: int) -> list[SafetyRecord]:
+        # the full safety table lives in memory: any prefix length works.
+        rows = topk_rows(self._ids, self._safety, m)
         return [
             SafetyRecord(
                 self._place_by_id[int(self._ids[row])], float(self._safety[row])

@@ -60,6 +60,20 @@ class MonitorCounters:
             }
         )
 
+    def __add__(self, other: "MonitorCounters") -> "MonitorCounters":
+        """Element-wise sum — aggregation across shard monitors.
+
+        ``maintained_peak`` is a high-water mark, not a flow; summing the
+        per-shard peaks is the peak simultaneous footprint bound (each
+        shard's table peaks independently).
+        """
+        return MonitorCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
     def as_dict(self) -> dict[str, float]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 

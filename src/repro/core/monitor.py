@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import abc
 import time
+import warnings
 from typing import Iterable, Sequence
 
 from repro.core.config import CTUPConfig
@@ -119,6 +120,21 @@ class CTUPMonitor(abc.ABC):
     @abc.abstractmethod
     def sk(self) -> float:
         """The safety of the k-th unsafe place (``+inf`` if |P| < k)."""
+
+    def partial_top_k(self, m: int) -> list[SafetyRecord]:
+        """The first ``m`` records of the result order (may be < m).
+
+        A partial-result query used by the shard merger: the returned
+        records are the lexicographically smallest ``(safety, place_id)``
+        pairs the scheme can answer exactly, and every record it *with-
+        holds* is either (a) tracked and lex-greater than the last
+        returned pair, or (b) untracked, with safety at least ``sk()``
+        (the "every place below SK is maintained" invariant). Schemes
+        whose candidate structures can answer for any ``m`` override
+        this; the default truncates ``top_k()``, which satisfies the
+        contract for every monitor.
+        """
+        return self.top_k()[:m]
 
     # -- lifecycle (base owns timing and counters) ----------------------
 
@@ -218,13 +234,27 @@ class CTUPMonitor(abc.ABC):
     ) -> int | list[UpdateReport]:
         """Process a whole stream.
 
+        .. deprecated:: 1.1
+            Drive monitors through :func:`repro.api.open_session` /
+            :class:`repro.engine.MonitorSession` instead — the session
+            is the one code path with batching, audits and hooks. This
+            method now delegates to a plain session and will be removed.
+
         Returns the number of updates consumed, or the per-update
         :class:`UpdateReport` list when ``collect`` is set.
         """
+        warnings.warn(
+            "CTUPMonitor.run_stream is deprecated; drive monitors "
+            "through repro.api.open_session / repro.engine.MonitorSession",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._require_initialized()
+        # local import: repro.engine sits above repro.core in the layering.
+        from repro.engine.session import MonitorSession
+
+        session = MonitorSession(self, track_changes=False)
+        session.start()
         if collect:
-            return [self.process(update) for update in updates]
-        count = 0
-        for update in updates:
-            self.process(update)
-            count += 1
-        return count
+            return [session.feed(update) for update in updates]
+        return session.run(updates)

@@ -87,7 +87,11 @@ class NaiveCTUP(CTUPMonitor):
         return len(self._plan)
 
     def top_k(self) -> list[SafetyRecord]:
-        rows = topk_rows(self._ids, self._safety, self.config.k)
+        return self.partial_top_k(self.config.k)
+
+    def partial_top_k(self, m: int) -> list[SafetyRecord]:
+        # all safeties are in memory: any prefix length is answerable.
+        rows = topk_rows(self._ids, self._safety, m)
         return [
             SafetyRecord(self._place_at(row), float(self._safety[row]))
             for row in rows.tolist()

@@ -260,5 +260,11 @@ class OptCTUP(CTUPMonitor):
     def top_k(self) -> list[SafetyRecord]:
         return self.maintained.top_k(self.config.k)
 
+    def partial_top_k(self, m: int) -> list[SafetyRecord]:
+        # the maintained table holds every place below SK (plus the Δ
+        # slack), so any prefix of its result order is answerable and
+        # everything untracked is >= SK — the partial-query contract.
+        return self.maintained.top_k(m)
+
     def sk(self) -> float:
         return self.maintained.sk(self.config.k)

@@ -37,6 +37,18 @@ def topk_rows(ids: np.ndarray, safety: np.ndarray, k: int) -> np.ndarray:
 
     Shared by the maintained table and the naïve monitor so every scheme
     reports an identical, deterministic result set.
+
+    **Tie-breaking contract.** The result order is exactly the first
+    ``min(k, n)`` rows of the lexicographic ``(safety, id)`` order: equal
+    safeties are always ordered by ascending place id, including across
+    the SK boundary (the k-th slot). That makes ``top_k()`` and
+    ``topk_ids()`` agree for every scheme that feeds its candidates
+    through this function, and it is what the sharded merger relies on —
+    per-shard prefixes in the same total order merge into the same total
+    order. The only remaining cross-scheme ambiguity is *which*
+    candidates a scheme tracks when several places tie exactly at SK
+    (Definition 4 does not prescribe that; see
+    ``CTUPMonitor.top_k``).
     """
     n = len(safety)
     if n == 0:

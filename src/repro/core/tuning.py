@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from repro.bench.harness import RunResult, run_monitor
-from repro.bench.workload import Workload
 from repro.core.config import CTUPConfig
 from repro.geometry import Rect
+
+if TYPE_CHECKING:  # repro.bench sits above repro.core; import lazily.
+    from repro.bench.harness import RunResult
+    from repro.bench.workload import Workload
 
 
 def suggest_granularity(
@@ -94,6 +96,8 @@ def choose_delta(
     """
     if not candidates:
         raise ValueError("no candidate deltas")
+    from repro.bench.harness import run_monitor
+
     results: dict[int, RunResult] = {}
     for delta in candidates:
         results[delta] = run_monitor(

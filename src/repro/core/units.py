@@ -60,6 +60,15 @@ class UnitKernelStats:
             }
         )
 
+    def __add__(self, other: "UnitKernelStats") -> "UnitKernelStats":
+        """Element-wise sum (aggregation across shard unit indexes)."""
+        return UnitKernelStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
 
 class UnitIndex:
     """Positions of all units, tracked per monitor.

@@ -39,12 +39,16 @@ class MonitorSession:
         batch_size: int = 0,
         audit_every: int = 0,
         hooks: Sequence[MonitorHooks] = (),
+        track_changes: bool = True,
     ) -> None:
         """``batch_size`` > 0 buffers updates and flushes them through
         the phase API as exact bursts; 0 processes one by one.
         ``audit_every`` > 0 runs the invariant auditor every that many
         updates (it costs a brute-force pass — useful in soak tests,
-        off by default)."""
+        off by default). ``track_changes=False`` skips the per-update
+        result diffing entirely — for measurement loops (the bench
+        harness) where reading ``top_k()`` after every update would
+        perturb the I/O counters being measured."""
         if batch_size < 0:
             raise ValueError("batch_size cannot be negative")
         if audit_every < 0:
@@ -52,6 +56,7 @@ class MonitorSession:
         self.monitor = monitor
         self.batch_size = batch_size
         self.audit_every = audit_every
+        self.track_changes = track_changes
         self.tracker = ChangeTracker(monitor)
         self.hooks = HookList(hooks)
         self.audit_problems: list[str] = []
@@ -72,6 +77,13 @@ class MonitorSession:
         """Whether ``start()`` has run."""
         return self._started
 
+    @property
+    def batcher(self) -> BatchProcessor | None:
+        """The burst processor (``None`` in single-update mode) — its
+        ``batches_processed`` / ``updates_processed`` counters are the
+        batching diagnostics."""
+        return self._batcher
+
     # -- lifecycle --------------------------------------------------------
 
     def start(self) -> InitReport | None:
@@ -84,9 +96,12 @@ class MonitorSession:
         if self._started:
             raise RuntimeError("session already started")
         if self.monitor.initialized:
-            self.tracker.prime()
-        else:
+            if self.track_changes:
+                self.tracker.prime()
+        elif self.track_changes:
             self.init_report = self.tracker.initialize()
+        else:
+            self.init_report = self.monitor.initialize()
         self._started = True
         return self.init_report
 
@@ -140,9 +155,10 @@ class MonitorSession:
             self.hooks.on_update_end(update, report)
         if batched:
             self.hooks.on_batch_flush(updates, report)
-        change = self.tracker.observe(updates[-1].timestamp)
-        if change is not None:
-            self.hooks.on_topk_change(change)
+        if self.track_changes:
+            change = self.tracker.observe(updates[-1].timestamp)
+            if change is not None:
+                self.hooks.on_topk_change(change)
         before = self.updates_processed
         self.updates_processed += len(updates)
         if self.audit_every and (

@@ -245,7 +245,7 @@ def run_ablation_batch(
 ) -> ExperimentResult:
     """Burst processing: access-loop deferral across batch sizes."""
     from repro.core import OptCTUP
-    from repro.core.batch import BatchProcessor
+    from repro.engine.session import MonitorSession
     from repro.validate import Oracle
 
     n_places, _, sweep_updates = _scaled(scale)
@@ -265,8 +265,11 @@ def run_ablation_batch(
         monitor = OptCTUP(config, workload.places, workload.units)
         monitor.initialize()
         init_accesses = monitor.counters.cells_accessed
-        processor = BatchProcessor(monitor)
-        processor.run_stream(workload.stream, batch_size)
+        # change tracking off: the measured quantity is cells accessed.
+        session = MonitorSession(
+            monitor, batch_size=batch_size, track_changes=False
+        )
+        session.run(workload.stream)
         verdict = oracle.validate(monitor.top_k(), config.k)
         if not verdict.ok:
             raise AssertionError(verdict.problems[:3])
@@ -277,7 +280,7 @@ def run_ablation_batch(
                 monitor.counters.total_update_time_s()
                 / len(workload.stream)
                 * 1e3,
-                processor.batches_processed,
+                session.batcher.batches_processed,
             ]
         )
     return ExperimentResult(
@@ -298,6 +301,7 @@ def run_ablation_decay(
 ) -> ExperimentResult:
     """Decaying protection (§VII): cost of the generalised monitor."""
     from repro.core import OptCTUP
+    from repro.engine.session import MonitorSession
     from repro.ext import DecayCTUP, linear_decay, step_decay
 
     n_places, _, sweep_updates = _scaled(scale)
@@ -335,7 +339,7 @@ def run_ablation_decay(
         monitor = factory()
         monitor.initialize()
         base = monitor.counters.snapshot()
-        monitor.run_stream(workload.stream)
+        MonitorSession(monitor, track_changes=False).run(workload.stream)
         diff = monitor.counters.snapshot() - base
         rows.append(
             [

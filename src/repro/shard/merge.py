@@ -1,0 +1,134 @@
+"""Exact global top-k from per-shard partial results.
+
+Each shard monitor answers top-k over *its* places only; the global
+answer is the k lexicographically smallest ``(safety, place_id)`` pairs
+across all shards. Pulling the full k records from every shard is
+correct but wasteful — a shard whose local safeties are high can never
+place a record in the global result. :class:`GlobalTopK` instead pulls a
+small prefix from each shard and re-queries a shard only when its
+**floor** — a proven exclusive lower bound on every record it has not
+yet reported — could still beat the tentative global k-th pair.
+
+The floor comes from the monitor contract (see
+``CTUPMonitor.partial_top_k``): a shard's unreported records are either
+records it tracks exactly, all lexicographically greater than the last
+reported pair, or places it does not track, whose safeties are at least
+the shard's local SK (the schemes' "every place below SK is maintained"
+invariant). ``min(last_pair, (local_sk, -inf))`` therefore bounds both
+kinds, and a shard whose floor is not below the current global k-th pair
+can be left alone — the refill rule of the merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.model import SafetyRecord
+
+#: stand-in for "any possible place id is larger": makes ``(sk, _FLOOR_ID)``
+#: an *exclusive* bound below every real ``(safety >= sk, id)`` pair.
+_FLOOR_ID = -(2**62)
+
+
+def _pair(record: SafetyRecord) -> tuple[float, int]:
+    return (record.safety, record.place_id)
+
+
+@dataclass(slots=True)
+class MergeStats:
+    """Work counters of the merger (deterministic, hence guardable)."""
+
+    merges: int = 0
+    #: per-shard partial queries issued (initial pulls + refills).
+    shards_queried: int = 0
+    #: shards re-queried because their floor beat the global k-th.
+    refills: int = 0
+    #: records received across all partial queries.
+    records_pulled: int = 0
+
+
+class GlobalTopK:
+    """Merges per-shard partial top-k lists into the exact global top-k."""
+
+    def __init__(self, k: int, initial_request: int | None = None) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        #: records requested from each shard on the first pull; defaults
+        #: to ``ceil(k / S) + 1`` (the expected share plus slack).
+        self.initial_request = initial_request
+        self.stats = MergeStats()
+
+    def merge(self, monitors: Sequence) -> list[SafetyRecord]:
+        """The global top-k over ``monitors`` (one per shard), sorted by
+        ``(safety, place_id)``; shorter only when the shards together
+        hold fewer than k places."""
+        if not monitors:
+            raise ValueError("cannot merge zero shards")
+        k = self.k
+        first = self.initial_request or (-(-k // len(monitors)) + 1)
+        requested = [min(k, first)] * len(monitors)
+        pulled: list[list[SafetyRecord]] = [[] for _ in monitors]
+        floors: list[tuple[float, int] | None] = [None] * len(monitors)
+        can_refill = [False] * len(monitors)
+        for s, monitor in enumerate(monitors):
+            self._pull(monitor, s, requested[s], pulled, floors, can_refill)
+        self.stats.merges += 1
+        while True:
+            merged = sorted(
+                (record for records in pulled for record in records),
+                key=_pair,
+            )
+            if len(merged) >= k:
+                kth = _pair(merged[k - 1])
+                needy = [
+                    s
+                    for s in range(len(monitors))
+                    if can_refill[s]
+                    and floors[s] is not None
+                    and floors[s] < kth
+                ]
+            else:
+                # fewer than k records so far: anything withheld counts.
+                needy = [s for s in range(len(monitors)) if can_refill[s]]
+            if not needy:
+                return merged[:k]
+            self.stats.refills += len(needy)
+            for s in needy:
+                requested[s] = min(k, requested[s] * 2)
+                self._pull(
+                    monitors[s], s, requested[s], pulled, floors, can_refill
+                )
+
+    def _pull(
+        self,
+        monitor,
+        s: int,
+        request: int,
+        pulled: list[list[SafetyRecord]],
+        floors: list[tuple[float, int] | None],
+        can_refill: list[bool],
+    ) -> None:
+        """Query one shard and update its floor / refill eligibility."""
+        records = monitor.partial_top_k(request)
+        self.stats.shards_queried += 1
+        self.stats.records_pulled += len(records)
+        pulled[s] = records
+        n = len(records)
+        if n >= monitor.store.place_count:
+            # the shard reported every place it owns: nothing withheld.
+            floors[s] = None
+            can_refill[s] = False
+        elif n < request:
+            # the shard handed over everything it can answer exactly;
+            # the rest is untracked, hence at least its local SK.
+            floors[s] = (monitor.sk(), _FLOOR_ID)
+            can_refill[s] = False
+        else:
+            # a full prefix: withheld tracked records are lex-greater
+            # than the last reported pair, untracked ones >= local SK.
+            floors[s] = min(_pair(records[-1]), (monitor.sk(), _FLOOR_ID))
+            # a shard never contributes more than k records to a
+            # k-result, so the request caps at k.
+            can_refill[s] = request < self.k

@@ -1,0 +1,246 @@
+"""Sharded CTUP execution behind the ordinary monitor contract.
+
+:class:`ShardedMonitor` splits the place set into S disjoint shards (by
+grid cell, via a :class:`~repro.shard.plan.ShardPlan`), gives each shard
+its own full monitor of any scheme, and recombines per-shard partial
+top-k lists into the exact global answer with
+:class:`~repro.shard.merge.GlobalTopK`. It implements the same
+maintain/access phase API as every other scheme, so ``MonitorSession``,
+``BatchProcessor``, hooks, audits and the bench timeline run on top of
+it unchanged.
+
+**Why this is exact.** A shard owns whole grid cells. For one unit move,
+any cell outside the union of the old and new disks' candidate blocks
+keeps the ``N`` relation to both disks: no place in it changes safety,
+and no Table I/II bound action applies. The
+:class:`~repro.shard.router.ShardRouter` therefore delivers the update
+*fully* (maintain + access phases) only to shards owning a block cell;
+every other shard receives a cheap **unit-position sync** so its
+server-side unit tracking stays consistent (`UnitIndex.apply` validates
+each update against the tracked old location, so every shard must see
+every update — the question is only how much work it does). Deliveries
+are queued per shard in arrival order and drained at the next access
+phase, optionally on a thread pool (``parallelism=N``): shards share no
+mutable state, per-shard work is identical either way, and the drain
+results are reduced in shard-id order — so results *and* merged work
+counters are deterministic and independent of thread scheduling.
+
+Shard-local SK never undershoots global SK (a shard's k-th smallest over
+a subset of the places is at least the global k-th smallest), which is
+what makes the merger's floor bounds sound — see :mod:`repro.shard.merge`
+for the refill rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.config import CTUPConfig
+from repro.core.metrics import InitReport, MonitorCounters
+from repro.core.monitor import CTUPMonitor
+from repro.core.units import UnitKernelStats
+from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+from repro.shard.merge import GlobalTopK
+from repro.shard.plan import ShardPlan, plan_for
+from repro.shard.router import ShardRouter
+from repro.storage.iostats import IoStats
+
+
+@dataclass
+class _Shard:
+    """One shard: its monitor plus the pending-delivery queue."""
+
+    shard_id: int
+    monitor: CTUPMonitor
+    #: ``(update, full)`` deliveries awaiting the next access phase;
+    #: ``full=False`` means only the unit-position sync is needed.
+    queue: list[tuple[LocationUpdate, bool]] = field(default_factory=list)
+
+
+class ShardedMonitor(CTUPMonitor):
+    """S shard monitors + router + global merger, one monitor contract."""
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        config: CTUPConfig,
+        places: Sequence[Place],
+        units: Iterable[Unit],
+        *,
+        shards: int | Sequence[int] | ShardPlan = 4,
+        scheme: str | Callable = "opt",
+        parallelism: int = 0,
+        strategy: str = "striped",
+    ) -> None:
+        """``shards`` is a shard count, an explicit :class:`ShardPlan`,
+        or a per-linear-cell shard-id sequence; ``scheme`` names the
+        per-shard monitor (any ``repro.api.SCHEMES`` key) or is a
+        factory ``(config, places, units) -> CTUPMonitor``;
+        ``parallelism`` > 1 drains shard queues on a thread pool (the
+        results are identical — shards share no state)."""
+        # the top-level grid/store/units are the *global* view: routing,
+        # audits and oracles read it; per-shard state lives below.
+        super().__init__(config, places, units)
+        self.plan = plan_for(self.grid, shards, strategy)
+        self.router = ShardRouter(self.plan, config.protection_range)
+        self.merger = GlobalTopK(config.k)
+        self.parallelism = parallelism
+        factory = scheme if callable(scheme) else self._resolve_scheme(scheme)
+        self.scheme_name = getattr(
+            factory, "name", getattr(factory, "__name__", "custom")
+        )
+        fleet = list(self.units)
+        self._shards = tuple(
+            _Shard(s, factory(config, shard_places, fleet))
+            for s, shard_places in enumerate(self.plan.split_places(places))
+        )
+        #: routing outcome counters (full = maintain+access delivery).
+        self.full_deliveries = 0
+        self.sync_deliveries = 0
+        self._init_reports: list[InitReport] = []
+        self._merge_cache: list[SafetyRecord] | None = None
+        self._pool = None
+
+    @staticmethod
+    def _resolve_scheme(scheme: str) -> Callable:
+        from repro.api import SCHEMES
+
+        try:
+            return SCHEMES[scheme]
+        except KeyError:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; pick one of {sorted(SCHEMES)}"
+            ) from None
+
+    # -- the phase API ----------------------------------------------------
+
+    def _build_initial_state(self) -> None:
+        self._init_reports = [
+            sh.monitor.initialize() for sh in self._shards
+        ]
+
+    def _init_report(self, elapsed: float) -> InitReport:
+        return InitReport(
+            seconds=elapsed,
+            cells_accessed=sum(r.cells_accessed for r in self._init_reports),
+            places_loaded=sum(r.places_loaded for r in self._init_reports),
+            sk=self.sk(),
+            maintained_places=self.maintained_count(),
+        )
+
+    def _apply(self, update: LocationUpdate) -> None:
+        old = self.units.apply(update)
+        targets = set(self.router.route(old, update.new_location))
+        for sh in self._shards:
+            sh.queue.append((update, sh.shard_id in targets))
+        self.full_deliveries += len(targets)
+        self.sync_deliveries += len(self._shards) - len(targets)
+        self._merge_cache = None
+
+    def _refresh(self) -> int:
+        busy = [sh for sh in self._shards if sh.queue]
+        if self.parallelism > 1 and len(busy) > 1:
+            # shards are fully independent; `map` preserves submission
+            # order so the reduction is deterministic regardless of
+            # thread scheduling.
+            accessed = sum(self._executor().map(self._drain, busy))
+        else:
+            accessed = sum(self._drain(sh) for sh in busy)
+        self._merge_cache = None
+        return accessed
+
+    def _drain(self, shard: _Shard) -> int:
+        """Deliver a shard's queued updates (in arrival order) and run
+        its access phase if any delivery was full."""
+        dirty = False
+        for update, full in shard.queue:
+            if full:
+                shard.monitor.apply_update(update)
+                dirty = True
+            else:
+                shard.monitor.units.apply(update)
+        shard.queue.clear()
+        return shard.monitor.refresh() if dirty else 0
+
+    # -- results ----------------------------------------------------------
+
+    def _merged(self) -> list[SafetyRecord]:
+        if self._merge_cache is None:
+            self._merge_cache = self.merger.merge(
+                [sh.monitor for sh in self._shards]
+            )
+        return self._merge_cache
+
+    def top_k(self) -> list[SafetyRecord]:
+        return list(self._merged())
+
+    def sk(self) -> float:
+        merged = self._merged()
+        if len(merged) < self.config.k:
+            return math.inf
+        return merged[-1].safety
+
+    def maintained_count(self) -> int:
+        return sum(sh.monitor.maintained_count() for sh in self._shards)
+
+    # -- aggregation across shards ---------------------------------------
+
+    @property
+    def shards(self) -> tuple[_Shard, ...]:
+        """The shards (id, monitor, pending queue), ascending id."""
+        return self._shards
+
+    def merged_counters(self) -> MonitorCounters:
+        """Work counters summed over all shard monitors.
+
+        The top-level :attr:`counters` only track the stream totals the
+        base class records (updates processed, wall-time split); the
+        actual monitoring work — cell accesses, bound adjustments,
+        distance rows — happens inside the shard monitors and is
+        aggregated here.
+        """
+        total = MonitorCounters()
+        for sh in self._shards:
+            total = total + sh.monitor.counters
+        return total
+
+    def merged_io(self) -> IoStats:
+        """Page-level I/O summed over all shard stores."""
+        total = IoStats()
+        for sh in self._shards:
+            total = total + sh.monitor.store.io_stats
+        return total
+
+    def merged_unit_stats(self) -> UnitKernelStats:
+        """Reachability-prefilter work summed over all shard indexes."""
+        total = UnitKernelStats()
+        for sh in self._shards:
+            total = total + sh.monitor.units.stats
+        return total
+
+    # -- executor lifecycle ----------------------------------------------
+
+    def _executor(self):
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=min(self.parallelism, len(self._shards)),
+                thread_name_prefix="ctup-shard",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the drain thread pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedMonitor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,220 @@
+"""Partitioning the place space into disjoint shards.
+
+A :class:`ShardPlan` assigns every grid cell — and therefore every place,
+since a place belongs to exactly one cell — to exactly one of ``S``
+shards. The plan is the single source of truth for the sharded execution
+layer: :class:`~repro.shard.monitor.ShardedMonitor` uses it to split the
+place set, and :class:`~repro.shard.router.ShardRouter` uses it to
+answer "which shards can a disk centred here touch?" from the disk's
+candidate-cell block.
+
+Because shard membership is defined at cell granularity, the routing
+question reduces to cell arithmetic the grid already does for bound
+maintenance: a unit move whose old and new protection disks touch no
+cell of shard ``s`` cannot change the safety of any place of ``s`` nor
+any of its cell bounds (the ``N -> N`` row of Tables I/II), so ``s``
+need not run its maintain or access phase for that update.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.grid.partition import CellId, GridPartition
+from repro.model import Place
+
+
+class ShardPlan:
+    """An immutable cell -> shard assignment over one grid partition.
+
+    Construct through one of the classmethods (:meth:`striped`,
+    :meth:`interleaved`, :meth:`hashed`, :meth:`from_mapping`) — the raw
+    constructor takes a dense ``(nx, ny)`` int array of shard ids.
+    """
+
+    #: the named partitioning strategies accepted by ``ShardedMonitor``.
+    STRATEGIES = ("striped", "interleaved", "hashed")
+
+    def __init__(self, grid: GridPartition, assignment: np.ndarray) -> None:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (grid.nx, grid.ny):
+            raise ValueError(
+                f"assignment shape {assignment.shape} does not match the "
+                f"{grid.nx}x{grid.ny} grid"
+            )
+        if assignment.size and assignment.min() < 0:
+            raise ValueError("shard ids must be non-negative")
+        self.grid = grid
+        self._assignment = assignment.copy()
+        self._assignment.setflags(write=False)
+        self.n_shards = int(assignment.max()) + 1 if assignment.size else 0
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def striped(cls, grid: GridPartition, n_shards: int) -> "ShardPlan":
+        """Contiguous vertical bands of columns, one band per shard.
+
+        Keeps each shard spatially compact, so a protection disk (which
+        spans a ``O(R/w)``-wide cell block) usually touches one or two
+        shards only — the lowest-fanout default.
+        """
+        cls._check_shards(grid, n_shards)
+        cols = np.arange(grid.nx, dtype=np.int64) * n_shards // grid.nx
+        return cls(grid, np.repeat(cols[:, None], grid.ny, axis=1))
+
+    @classmethod
+    def interleaved(cls, grid: GridPartition, n_shards: int) -> "ShardPlan":
+        """Diagonal round-robin: cell ``(i, j)`` goes to ``(i + j) % S``.
+
+        Balances load under skewed workloads at the cost of higher
+        routing fanout (neighbouring cells live in different shards).
+        """
+        cls._check_shards(grid, n_shards)
+        i = np.arange(grid.nx, dtype=np.int64)[:, None]
+        j = np.arange(grid.ny, dtype=np.int64)[None, :]
+        return cls(grid, (i + j) % n_shards)
+
+    @classmethod
+    def hashed(
+        cls, grid: GridPartition, n_shards: int, seed: int = 0
+    ) -> "ShardPlan":
+        """Deterministic spatial hash of the cell coordinates."""
+        cls._check_shards(grid, n_shards)
+        i = np.arange(grid.nx, dtype=np.uint64)[:, None]
+        j = np.arange(grid.ny, dtype=np.uint64)[None, :]
+        mixed = (i * np.uint64(73856093)) ^ (j * np.uint64(19349663))
+        mixed = mixed ^ np.uint64(seed * 83492791 & 0xFFFFFFFF)
+        return cls(grid, (mixed % np.uint64(n_shards)).astype(np.int64))
+
+    @classmethod
+    def from_mapping(
+        cls,
+        grid: GridPartition,
+        mapping: Mapping[CellId, int],
+        n_shards: int | None = None,
+    ) -> "ShardPlan":
+        """Build a plan from an explicit ``cell -> shard`` mapping.
+
+        Every cell of the grid must be assigned. ``n_shards`` pads the
+        plan with trailing empty shards (useful when a random assignment
+        happens to skip the last shard id).
+        """
+        assignment = np.full((grid.nx, grid.ny), -1, dtype=np.int64)
+        for cell, shard in mapping.items():
+            grid._check_cell(cell)
+            assignment[cell] = int(shard)
+        if (assignment < 0).any():
+            missing = int((assignment < 0).sum())
+            raise ValueError(f"mapping leaves {missing} cells unassigned")
+        plan = cls(grid, assignment)
+        if n_shards is not None:
+            if n_shards < plan.n_shards:
+                raise ValueError(
+                    f"mapping uses shard id {plan.n_shards - 1} but only "
+                    f"{n_shards} shards were requested"
+                )
+            plan.n_shards = n_shards
+        return plan
+
+    @classmethod
+    def build(
+        cls, grid: GridPartition, n_shards: int, strategy: str = "striped"
+    ) -> "ShardPlan":
+        """Dispatch to a named strategy (see :attr:`STRATEGIES`)."""
+        if strategy not in cls.STRATEGIES:
+            raise ValueError(
+                f"unknown shard strategy {strategy!r}; "
+                f"pick one of {cls.STRATEGIES}"
+            )
+        return getattr(cls, strategy)(grid, n_shards)
+
+    @staticmethod
+    def _check_shards(grid: GridPartition, n_shards: int) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        if n_shards > grid.cell_count:
+            raise ValueError(
+                f"{n_shards} shards cannot all own a cell of a "
+                f"{grid.nx}x{grid.ny} grid"
+            )
+
+    # -- lookups ----------------------------------------------------------
+
+    def shard_of_cell(self, cell: CellId) -> int:
+        """The shard owning ``cell``."""
+        self.grid._check_cell(cell)
+        return int(self._assignment[cell])
+
+    def shard_of_place(self, place: Place) -> int:
+        """The shard owning ``place`` (via its grid cell)."""
+        return int(self._assignment[self.grid.cell_of(place.location)])
+
+    def shards_in_block(
+        self, block: tuple[int, int, int, int]
+    ) -> frozenset[int]:
+        """Distinct shards owning any cell of a clamped ``(i_lo, i_hi,
+        j_lo, j_hi)`` block (empty for an empty block)."""
+        i_lo, i_hi, j_lo, j_hi = block
+        if i_lo > i_hi or j_lo > j_hi:
+            return frozenset()
+        view = self._assignment[i_lo : i_hi + 1, j_lo : j_hi + 1]
+        return frozenset(np.unique(view).tolist())
+
+    def cells_of_shard(self, shard: int) -> list[CellId]:
+        """All cells owned by ``shard`` (row-major order)."""
+        return [
+            (int(i), int(j))
+            for i, j in np.argwhere(self._assignment == shard)
+        ]
+
+    def split_places(
+        self, places: Iterable[Place]
+    ) -> list[list[Place]]:
+        """Partition ``places`` into one list per shard (order kept)."""
+        out: list[list[Place]] = [[] for _ in range(self.n_shards)]
+        for place in places:
+            out[self.shard_of_place(place)].append(place)
+        return out
+
+    def cell_counts(self) -> list[int]:
+        """Number of cells owned by each shard."""
+        return np.bincount(
+            self._assignment.ravel(), minlength=self.n_shards
+        ).tolist()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"ShardPlan({self.grid.nx}x{self.grid.ny} grid, "
+            f"{self.n_shards} shards, cells/shard {self.cell_counts()})"
+        )
+
+
+def plan_for(
+    grid: GridPartition,
+    shards: int | Sequence[int] | ShardPlan,
+    strategy: str = "striped",
+) -> ShardPlan:
+    """Coerce a shard spec — a count, a plan, or a per-linear-cell
+    sequence of shard ids — into a :class:`ShardPlan` over ``grid``."""
+    if isinstance(shards, ShardPlan):
+        plan = shards
+        if (
+            plan.grid.nx != grid.nx
+            or plan.grid.ny != grid.ny
+            or plan.grid.space != grid.space
+        ):
+            raise ValueError("shard plan was built for a different grid")
+        return plan
+    if isinstance(shards, int):
+        return ShardPlan.build(grid, shards, strategy)
+    flat = np.asarray(list(shards), dtype=np.int64)
+    if flat.size != grid.cell_count:
+        raise ValueError(
+            f"per-cell shard sequence has {flat.size} entries for a "
+            f"{grid.cell_count}-cell grid"
+        )
+    # the sequence is indexed by GridPartition.linear (row-major).
+    return ShardPlan(grid, flat.reshape(grid.nx, grid.ny))

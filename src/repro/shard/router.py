@@ -1,0 +1,49 @@
+"""Fan-out routing of location updates to shards.
+
+For one unit move the only shards whose monitoring state can change are
+those owning at least one cell inside the old or the new protection
+disk's candidate block (the same ``O(ceil(R/w))``-sized block
+:class:`~repro.grid.partition.CircleStencil` classifies for bound
+maintenance). Every other shard keeps all its cell relations at ``N`` on
+both sides of the move — no safety changes, no bound actions — and only
+needs its unit positions synchronised.
+
+The router is deliberately conservative at block granularity: a corner
+cell of the block may not actually intersect the disk, in which case the
+target shard runs a maintain phase that turns out to be a no-op. That
+costs a little work, never correctness, and keeps routing to two
+``block_of`` computations and one ``np.unique`` per disk.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import Point
+from repro.shard.plan import ShardPlan
+
+
+class ShardRouter:
+    """Maps a unit move to the set of shards that must process it."""
+
+    def __init__(self, plan: ShardPlan, radius: float) -> None:
+        if radius < 0:
+            raise ValueError(f"negative protection radius: {radius}")
+        self.plan = plan
+        self.radius = radius
+        self._stencil = plan.grid.stencil(radius)
+        #: number of updates routed, and total full deliveries produced —
+        #: ``fanout_total / updates_routed`` is the mean shard fanout.
+        self.updates_routed = 0
+        self.fanout_total = 0
+
+    def shards_touching(self, center: Point) -> frozenset[int]:
+        """Shards owning any candidate cell of a disk at ``center``."""
+        return self.plan.shards_in_block(self._stencil.block_of(center))
+
+    def route(self, old: Point, new: Point) -> tuple[int, ...]:
+        """Shard ids (ascending) that must run their maintain phase for
+        a move from ``old`` to ``new``; all other shards only need the
+        unit-position sync."""
+        targets = self.shards_touching(old) | self.shards_touching(new)
+        self.updates_routed += 1
+        self.fanout_total += len(targets)
+        return tuple(sorted(targets))

@@ -43,3 +43,12 @@ class IoStats:
             self.page_writes - other.page_writes,
             self.array_hits - other.array_hits,
         )
+
+    def __add__(self, other: "IoStats") -> "IoStats":
+        """Element-wise sum (aggregation across shard stores)."""
+        return IoStats(
+            self.page_reads + other.page_reads,
+            self.buffered_reads + other.buffered_reads,
+            self.page_writes + other.page_writes,
+            self.array_hits + other.array_hits,
+        )

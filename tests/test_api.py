@@ -1,0 +1,208 @@
+"""The ``repro.api`` facade: the one supported way in."""
+
+import pytest
+
+from repro.api import (
+    SCHEMES,
+    make_monitor,
+    open_session,
+    scheme_factory,
+)
+from repro.core import BasicCTUP, NaiveCTUP, OptCTUP
+from repro.core.incremental import IncrementalNaiveCTUP
+from repro.engine.session import MonitorSession
+from repro.shard import ShardPlan, ShardedMonitor
+
+
+class TestSchemeRegistry:
+    def test_registry_names(self):
+        assert set(SCHEMES) == {"naive", "basic", "opt", "incremental"}
+
+    def test_registry_maps_names_to_classes(self):
+        assert SCHEMES["naive"] is NaiveCTUP
+        assert SCHEMES["basic"] is BasicCTUP
+        assert SCHEMES["opt"] is OptCTUP
+        assert SCHEMES["incremental"] is IncrementalNaiveCTUP
+
+    def test_scheme_factory_resolves_names_and_passes_callables(self):
+        assert scheme_factory("opt") is OptCTUP
+        custom = lambda config, places, units: NaiveCTUP(config, places, units)
+        assert scheme_factory(custom) is custom
+
+    def test_scheme_factory_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            scheme_factory("quantum")
+
+
+class TestMakeMonitor:
+    def test_default_is_plain_opt(self, small_config, small_places, small_units):
+        monitor = make_monitor(
+            places=small_places, units=small_units, config=small_config
+        )
+        assert isinstance(monitor, OptCTUP)
+        assert not monitor.initialized
+
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    def test_every_scheme_buildable(
+        self, name, small_config, small_places, small_units
+    ):
+        monitor = make_monitor(
+            name, places=small_places, units=small_units, config=small_config
+        )
+        assert isinstance(monitor, SCHEMES[name])
+
+    def test_sharded_when_shards_requested(
+        self, small_config, small_places, small_units
+    ):
+        monitor = make_monitor(
+            "basic",
+            places=small_places,
+            units=small_units,
+            config=small_config,
+            shards=3,
+            shard_strategy="interleaved",
+        )
+        assert isinstance(monitor, ShardedMonitor)
+        assert monitor.plan.n_shards == 3
+        assert monitor.scheme_name == "basic"
+        assert all(
+            isinstance(sh.monitor, BasicCTUP) for sh in monitor.shards
+        )
+
+    def test_accepts_explicit_shard_plan(
+        self, small_config, small_places, small_units
+    ):
+        probe = make_monitor(
+            places=small_places, units=small_units, config=small_config
+        )
+        plan = ShardPlan.hashed(probe.grid, 4, seed=2)
+        monitor = make_monitor(
+            places=small_places,
+            units=small_units,
+            config=small_config,
+            shards=plan,
+        )
+        assert isinstance(monitor, ShardedMonitor)
+        assert monitor.plan is plan
+
+    def test_default_config_when_omitted(self, small_places):
+        from repro.workloads import generate_units
+
+        from repro.core import CTUPConfig
+
+        units = generate_units(5, CTUPConfig().protection_range, seed=1)
+        monitor = make_monitor("naive", places=small_places, units=units)
+        assert monitor.config.k == CTUPConfig().k
+
+
+class TestOpenSession:
+    def test_builds_and_runs(
+        self, small_config, small_places, small_units, small_stream, small_oracle
+    ):
+        session = open_session(
+            "opt",
+            places=small_places,
+            units=small_units,
+            config=small_config,
+        )
+        assert isinstance(session, MonitorSession)
+        report = session.start()
+        assert report is not None and report.places_loaded > 0
+        assert session.run(small_stream) == len(small_stream)
+        for update in small_stream:
+            small_oracle.apply(update)
+        verdict = small_oracle.validate(
+            session.monitor.top_k(), small_config.k
+        )
+        assert verdict.ok, verdict.problems
+
+    def test_forwards_session_knobs(
+        self, small_config, small_places, small_units
+    ):
+        session = open_session(
+            places=small_places,
+            units=small_units,
+            config=small_config,
+            batch_size=8,
+            audit_every=100,
+            track_changes=False,
+        )
+        assert session.batch_size == 8
+        assert session.batcher is not None
+        assert session.audit_every == 100
+        assert session.track_changes is False
+
+    def test_adopts_existing_monitor(
+        self, small_config, small_places, small_units
+    ):
+        monitor = make_monitor(
+            "naive", places=small_places, units=small_units, config=small_config
+        )
+        session = open_session(monitor=monitor)
+        assert session.monitor is monitor
+
+    def test_rejects_neither_monitor_nor_world(self):
+        with pytest.raises(ValueError, match="either a monitor or places"):
+            open_session("opt")
+
+    def test_rejects_both_monitor_and_world(
+        self, small_config, small_places, small_units
+    ):
+        monitor = make_monitor(
+            places=small_places, units=small_units, config=small_config
+        )
+        with pytest.raises(ValueError, match="not both"):
+            open_session(monitor=monitor, places=small_places)
+
+    def test_sharded_session_end_to_end(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        session = open_session(
+            "opt",
+            places=small_places,
+            units=small_units,
+            config=small_config,
+            shards=4,
+        )
+        session.start()
+        session.run(small_stream)
+        sharded = session.monitor
+        assert isinstance(sharded, ShardedMonitor)
+        assert len(sharded.top_k()) == small_config.k
+
+
+class TestRunStreamDeprecation:
+    def test_warns_and_still_works(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        monitor = OptCTUP(small_config, small_places, small_units)
+        monitor.initialize()
+        with pytest.warns(DeprecationWarning, match="run_stream"):
+            consumed = monitor.run_stream(small_stream)
+        assert consumed == len(small_stream)
+        assert monitor.counters.updates_processed == len(small_stream)
+
+    def test_matches_session_path(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        legacy = OptCTUP(small_config, small_places, small_units)
+        legacy.initialize()
+        with pytest.warns(DeprecationWarning):
+            legacy.run_stream(small_stream)
+        modern = open_session(
+            "opt", places=small_places, units=small_units, config=small_config
+        )
+        modern.start()
+        modern.run(small_stream)
+        assert [
+            (r.place_id, r.safety) for r in legacy.top_k()
+        ] == [(r.place_id, r.safety) for r in modern.monitor.top_k()]
+
+    def test_collect_mode_returns_reports(
+        self, small_config, small_places, small_units, small_stream
+    ):
+        monitor = NaiveCTUP(small_config, small_places, small_units)
+        monitor.initialize()
+        with pytest.warns(DeprecationWarning):
+            reports = monitor.run_stream(small_stream.prefix(5), collect=True)
+        assert len(reports) == 5

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core import BasicCTUP, NaiveCTUP, OptCTUP
 from repro.core.audit import audit_monitor
+from repro.engine import MonitorSession
 
 
 @pytest.fixture(params=[BasicCTUP, OptCTUP, NaiveCTUP], ids=lambda c: c.name)
@@ -20,7 +21,7 @@ class TestCleanState:
         assert audit_monitor(monitor) == []
 
     def test_after_stream_audits_clean(self, monitor, small_stream):
-        monitor.run_stream(small_stream)
+        MonitorSession(monitor).run(small_stream)
         assert audit_monitor(monitor) == []
 
 

@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.core import BasicCTUP
+from repro.engine import MonitorSession
 from repro.validate import Oracle
 from tests.conftest import assert_valid_topk
 
@@ -79,15 +80,15 @@ class TestUpdateInvariants:
                 audit_invariants(basic, small_oracle)
 
     def test_darkening_happens(self, basic, small_stream):
-        basic.run_stream(small_stream)
+        MonitorSession(basic).run(small_stream)
         assert basic.counters.cells_darkened > 0
 
     def test_lower_bounds_decrease_under_table1(self, basic, small_stream):
-        basic.run_stream(small_stream.prefix(50))
+        MonitorSession(basic).run(small_stream.prefix(50))
         assert basic.counters.lb_decrements > 0
 
     def test_counters_progress(self, basic, small_stream):
-        basic.run_stream(small_stream.prefix(30))
+        MonitorSession(basic).run(small_stream.prefix(30))
         c = basic.counters
         assert c.updates_processed == 30
         assert c.maintained_scans > 0

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import BasicCTUP, OptCTUP
 from repro.core.batch import BatchProcessor
+from repro.engine import MonitorSession
 from tests.conftest import assert_valid_topk
 
 
@@ -68,7 +69,7 @@ class TestProcessing:
         batched.initialize()
         processor = BatchProcessor(batched)
 
-        sequential.run_stream(small_stream)
+        MonitorSession(sequential).run(small_stream)
         consumed = processor.run_stream(small_stream, batch_size)
         assert consumed == len(small_stream)
         for update in small_stream:

@@ -117,7 +117,7 @@ class TestSchemeAgnosticBatching:
         )
         sequential.initialize()
         batched.initialize()
-        sequential.run_stream(scenario_world.stream)
+        MonitorSession(sequential).run(scenario_world.stream)
         consumed = BatchProcessor(batched).run_stream(
             scenario_world.stream, batch_size
         )
@@ -172,9 +172,10 @@ class TestSchemeAgnosticBatching:
             scenario_config, scenario_world.places, scenario_world.units
         )
         monitor.initialize()
-        reports = monitor.run_stream(
-            scenario_world.stream.prefix(10), collect=True
-        )
+        with pytest.warns(DeprecationWarning):  # legacy surface, kept exact
+            reports = monitor.run_stream(
+                scenario_world.stream.prefix(10), collect=True
+            )
         assert len(reports) == 10
         assert all(isinstance(r, UpdateReport) for r in reports)
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.engine import MonitorSession
 from repro.ext import DecayCTUP, linear_decay, step_decay
 
 
@@ -116,7 +117,7 @@ class TestDecayMonitor:
             decay=linear_decay(small_config.protection_range),
         )
         monitor.initialize()
-        monitor.run_stream(small_stream.prefix(30))
+        MonitorSession(monitor).run(small_stream.prefix(30))
         # the most unsafe places may be entirely unprotected (integer
         # safeties); the maintained band must show fractional values.
         safeties = monitor.maintained.safeties_snapshot().values()
@@ -127,6 +128,6 @@ class TestDecayMonitor:
     ):
         monitor = DecayCTUP(small_config, small_places, small_units)
         monitor.initialize()
-        monitor.run_stream(small_stream.prefix(30))
+        MonitorSession(monitor).run(small_stream.prefix(30))
         assert monitor.counters.updates_processed == 30
         assert monitor.counters.lb_decrements > 0

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import NaiveCTUP
+from repro.engine import MonitorSession
 from repro.core.incremental import IncrementalNaiveCTUP
 from tests.conftest import assert_valid_topk
 
@@ -20,7 +21,7 @@ class TestNaive:
     def test_full_scan_every_update(self, naive, small_stream):
         cells = len(naive.store.occupied_cells())
         base = naive.counters.cells_accessed
-        naive.run_stream(small_stream.prefix(10))
+        MonitorSession(naive, track_changes=False).run(small_stream.prefix(10))
         assert naive.counters.cells_accessed - base == 10 * cells
 
     def test_results_track_oracle(self, naive, small_oracle, small_stream):
@@ -58,7 +59,7 @@ class TestIncremental:
         self, incremental, small_places, small_stream
     ):
         base = incremental.counters.maintained_scans
-        incremental.run_stream(small_stream.prefix(5))
+        MonitorSession(incremental, track_changes=False).run(small_stream.prefix(5))
         assert incremental.counters.maintained_scans - base == 5 * len(
             small_places
         )

@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.core import BasicCTUP, OptCTUP
+from repro.engine import MonitorSession
 from repro.validate import Oracle
 from tests.conftest import assert_valid_topk
 
@@ -123,7 +124,7 @@ class TestUpdateInvariants:
             )
             monitor.initialize()
             base = monitor.counters.cells_accessed
-            monitor.run_stream(small_stream)
+            MonitorSession(monitor, track_changes=False).run(small_stream)
             accesses[delta] = monitor.counters.cells_accessed - base
         assert accesses[8] <= accesses[0]
 
@@ -136,6 +137,6 @@ class TestUpdateInvariants:
                 small_config.replace(delta=delta), small_places, small_units
             )
             monitor.initialize()
-            monitor.run_stream(small_stream)
+            MonitorSession(monitor, track_changes=False).run(small_stream)
             peaks[delta] = monitor.counters.maintained_peak
         assert peaks[8] >= peaks[0]

@@ -19,6 +19,8 @@ PACKAGES = [
     "repro.persist",
     "repro.experiments",
     "repro.validate",
+    "repro.shard",
+    "repro.api",
 ]
 
 
@@ -53,8 +55,28 @@ def test_top_level_surface_is_stable():
         "Oracle",
         "generate_places",
         "generate_units",
+        "make_monitor",
+        "open_session",
+        "MonitorSession",
+        "ShardedMonitor",
+        "ShardPlan",
+        "ShardRouter",
+        "GlobalTopK",
     }
     assert expected <= set(repro.__all__)
+
+
+def test_facade_schemes_cover_all_monitor_classes():
+    from repro.api import SCHEMES
+    from repro.core import BasicCTUP, NaiveCTUP, OptCTUP
+    from repro.core.incremental import IncrementalNaiveCTUP
+
+    assert set(SCHEMES.values()) == {
+        NaiveCTUP,
+        BasicCTUP,
+        OptCTUP,
+        IncrementalNaiveCTUP,
+    }
 
 
 def test_monitor_classes_share_contract():

@@ -45,6 +45,29 @@ class TestHelpers:
     def test_topk_rows_empty(self):
         assert len(topk_rows(np.empty(0, dtype=np.int64), np.empty(0), 5)) == 0
 
+    def test_topk_rows_tie_straddling_the_k_boundary(self):
+        # regression: a tie group larger than the remaining k slots must
+        # be cut by ascending id — the shared (safety, id) contract that
+        # makes per-shard partial results mergeable into a unique prefix.
+        ids = np.array([40, 10, 30, 20, 50], dtype=np.int64)
+        safety = np.array([-1.0, 0.0, -1.0, -1.0, -1.0])
+        rows = topk_rows(ids, safety, 3)
+        assert ids[rows].tolist() == [20, 30, 40]
+        # growing k extends the same prefix, never reorders it.
+        rows4 = topk_rows(ids, safety, 4)
+        assert ids[rows4].tolist() == [20, 30, 40, 50]
+        assert ids[rows4][:3].tolist() == ids[rows].tolist()
+
+    def test_table_top_k_agrees_with_topk_rows_on_ties(self):
+        entries = [(40, -1.0), (10, 0.0), (30, -1.0), (20, -1.0), (50, -1.0)]
+        table = table_with(entries)
+        ids = np.array([pid for pid, _ in entries], dtype=np.int64)
+        safety = np.array([s for _, s in entries])
+        for k in (1, 3, 5):
+            from_rows = [int(ids[r]) for r in topk_rows(ids, safety, k)]
+            from_table = [r.place_id for r in table.top_k(k)]
+            assert from_table == from_rows
+
     @settings(max_examples=100)
     @given(st.lists(st.integers(-10, 10), min_size=1, max_size=50), st.integers(1, 10))
     def test_topk_rows_matches_sorted(self, values, k):
