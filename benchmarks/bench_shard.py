@@ -212,7 +212,7 @@ def test_shard_smoke_matches_baseline():
     report = _guard(load_baseline(BASELINE_PATH), doc)
     # counters may drift with numpy/python versions (warned, tolerated);
     # a structural mismatch means the committed baseline is stale.
-    assert report.ok(), report.format()
+    assert report.ok(), report.render()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -257,7 +257,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"no baseline at {BASELINE_PATH}; run --write-baseline first")
             return 1
         report = _guard(baseline, doc)
-        print(report.format())
+        print(report.render())
         if not report.ok(strict=args.strict):
             status = 1
     if args.write_baseline:

@@ -98,7 +98,7 @@ class GuardReport:
             return not any(f for f in self.regressions if not f.wall)
         return True
 
-    def format(self) -> str:
+    def render(self) -> str:
         if not self.findings:
             return "bench guard: baseline and current run match."
         lines = [

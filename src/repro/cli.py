@@ -97,6 +97,34 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--map", action="store_true", help="render the final cell map"
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the repo-aware static analyzer",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="lint_format",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    lint.add_argument(
+        "--mypy",
+        action="store_true",
+        help="also run mypy over the strict-typed module set, if installed",
+    )
     return parser
 
 
@@ -189,6 +217,18 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    forwarded = list(args.paths)
+    forwarded += ["--format", args.lint_format]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    if args.mypy:
+        forwarded.append("--mypy")
+    return lint_main(forwarded)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -200,6 +240,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args.out, args.scale, args.seed, args.only)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -18,8 +18,9 @@ against the oracle while Δ moves).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
-from repro.core.metrics import MonitorCounters
+from repro.core.metrics import MonitorCounters, UpdateReport
 from repro.core.opt import OptCTUP
 from repro.model import LocationUpdate
 
@@ -80,7 +81,7 @@ class AdaptiveDeltaController:
         self._seen = 0
         self._window_start: MonitorCounters = monitor.counters.snapshot()
 
-    def process(self, update: LocationUpdate):
+    def process(self, update: LocationUpdate) -> UpdateReport:
         """Feed one update; adapt Δ at window boundaries."""
         report = self.monitor.process(update)
         self._seen += 1
@@ -88,7 +89,7 @@ class AdaptiveDeltaController:
             self._adapt()
         return report
 
-    def run_stream(self, updates) -> int:
+    def run_stream(self, updates: Iterable[LocationUpdate]) -> int:
         count = 0
         for update in updates:
             self.process(update)

@@ -52,8 +52,10 @@ def _audit_result(monitor: CTUPMonitor, oracle: Oracle) -> list[str]:
     return [f"result: {problem}" for problem in verdict.problems]
 
 
-def _cell_minima(monitor, truth, exclude: set[int]) -> dict:
-    minima: dict = {}
+def _cell_minima(
+    monitor: CTUPMonitor, truth: dict[int, float], exclude: set[int]
+) -> dict[tuple[int, int], float]:
+    minima: dict[tuple[int, int], float] = {}
     for place in monitor.store.iter_all_places():
         if place.place_id in exclude:
             continue

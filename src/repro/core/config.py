@@ -69,7 +69,7 @@ class CTUPConfig:
         if self.granularity <= 0:
             raise ValueError("granularity must be positive")
 
-    def replace(self, **overrides) -> "CTUPConfig":
+    def replace(self, **overrides: object) -> "CTUPConfig":
         """A copy with some fields overridden (sweep helper)."""
         from dataclasses import replace as dc_replace
 

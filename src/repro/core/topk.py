@@ -15,7 +15,7 @@ stay dense.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -291,7 +291,10 @@ class MaintainedPlaces:
         return n
 
     def apply_unit_move_weighted(
-        self, old: Point, new: Point, weight_of_distance
+        self,
+        old: Point,
+        new: Point,
+        weight_of_distance: Callable[[np.ndarray], np.ndarray],
     ) -> int:
         """Decaying-protection version of :meth:`apply_unit_move`.
 

@@ -19,12 +19,16 @@ saved.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 import numpy as np
 
 from repro.geometry import Point, Rect
 from repro.model import LocationUpdate, Unit
+
+if TYPE_CHECKING:
+    from repro.grid.partition import GridPartition
+    from repro.index.unitgrid import UnitGridIndex
 
 
 @dataclass(slots=True)
@@ -125,7 +129,7 @@ class UnitIndex:
         """The most recently reported location of ``unit_id``."""
         return self._units[unit_id].location
 
-    def attach_grid(self, grid) -> None:
+    def attach_grid(self, grid: "GridPartition") -> None:
         """Bucket the unit rows by ``grid`` cell (perf only, exactness kept).
 
         Subsequent location updates maintain the buckets incrementally;
@@ -140,7 +144,7 @@ class UnitIndex:
         )
 
     @property
-    def grid_index(self):
+    def grid_index(self) -> "UnitGridIndex | None":
         """The attached :class:`UnitGridIndex`, or ``None``."""
         return self._grid_index
 
@@ -232,7 +236,7 @@ class UnitIndex:
             out[group] = np.count_nonzero(dx * dx + dy * dy <= r2, axis=1)
         return out
 
-    def _reachable_near(self, rect) -> tuple[np.ndarray, np.ndarray]:
+    def _reachable_near(self, rect: Rect) -> tuple[np.ndarray, np.ndarray]:
         """Positions of the units whose disk reaches into ``rect``.
 
         The single reachability filter behind every ``*_near`` kernel:
@@ -260,7 +264,7 @@ class UnitIndex:
         return ux, uy
 
     def ap_counts_near(
-        self, xs: np.ndarray, ys: np.ndarray, rect
+        self, xs: np.ndarray, ys: np.ndarray, rect: Rect
     ) -> tuple[np.ndarray, int]:
         """AP of points inside ``rect``, using only reachable units.
 
@@ -285,7 +289,11 @@ class UnitIndex:
         return counts.astype(np.int64), n_units
 
     def weighted_protection_near(
-        self, xs: np.ndarray, ys: np.ndarray, rect, weight_of_distance
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        rect: Rect,
+        weight_of_distance: Callable[[np.ndarray], np.ndarray],
     ) -> tuple[np.ndarray, int]:
         """Decaying-protection sums (§VII extension).
 

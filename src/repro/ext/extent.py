@@ -220,6 +220,7 @@ class ExtentCTUP:
         for cell, safeties in accessed:
             self._absorb_cell(cell, safeties, sk, threshold)
         elapsed = time.perf_counter() - start
+        # reprolint: disable=RPL002 -- ExtentCTUP is a standalone scheme, not a CTUPMonitor subclass; it owns its own lifecycle and therefore its timing counters
         self.counters.time_init_s = elapsed
         self._initialized = True
         return InitReport(
@@ -305,10 +306,13 @@ class ExtentCTUP:
             accessed += 1
         end = time.perf_counter()
 
+        # reprolint: disable=RPL002 -- standalone scheme: ExtentCTUP runs its own update loop, so stream/timing ownership sits here, not in repro.core.monitor
         self.counters.updates_processed += 1
+        # reprolint: disable=RPL002 -- standalone scheme: phase timing measured by ExtentCTUP's own update loop
         self.counters.time_maintain_s += mid - start
+        # reprolint: disable=RPL002 -- standalone scheme: phase timing measured by ExtentCTUP's own update loop
         self.counters.time_access_s += end - mid
-        self.counters.maintained_peak = max(
+        self.counters.maintained_peak = max(  # reprolint: disable=RPL002 -- standalone scheme: maintained band tracked by ExtentCTUP's own update loop
             self.counters.maintained_peak, len(self._maintained)
         )
         return UpdateReport(

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterator
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,6 +41,6 @@ class Point:
         """The ``(x, y)`` tuple, handy for numpy interop."""
         return (self.x, self.y)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         yield self.x
         yield self.y

@@ -57,7 +57,9 @@ def _mbr_union(rects: Sequence[Rect]) -> Rect:
 class RTree:
     """A static R-tree over a place set, STR bulk-loaded."""
 
-    def __init__(self, places: Sequence[Place], fanout: int = DEFAULT_FANOUT):
+    def __init__(
+        self, places: Sequence[Place], fanout: int = DEFAULT_FANOUT
+    ) -> None:
         if fanout < 2:
             raise ValueError("fanout must be at least 2")
         places = list(places)

@@ -99,7 +99,7 @@ class UnitGridIndex:
 
     def _invalidate_bucket(self, bucket: int) -> None:
         self._cache.pop(bucket, None)
-        for key in self._blocks_of_bucket.pop(bucket, ()):
+        for key in sorted(self._blocks_of_bucket.pop(bucket, ())):
             self._block_cache.pop(key, None)
 
     # -- queries ----------------------------------------------------------

@@ -1,0 +1,89 @@
+"""Lint configuration, read from ``[tool.reprolint]`` in pyproject.toml.
+
+The committed configuration is the contract: the strict-typing
+allowlist says which module subtrees must be fully annotated (the
+RPLT01 gate), and ``select``/``ignore`` narrow the rule set for ad-hoc
+runs. Loading walks up from the linted paths so the tool works from any
+working directory inside the repository.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import tomllib
+
+#: module prefixes that must pass the annotation-strictness gate when no
+#: pyproject declares its own list (mirrors the committed configuration).
+DEFAULT_STRICT_MODULES: tuple[str, ...] = (
+    "repro.api",
+    "repro.model",
+    "repro.geometry",
+    "repro.grid",
+    "repro.storage",
+    "repro.core",
+    "repro.shard",
+    "repro.index",
+    "repro.lint",
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class LintConfig:
+    """Resolved configuration for one lint run."""
+
+    #: dotted module prefixes the RPLT01 typing gate applies to.
+    strict_typed_modules: tuple[str, ...] = DEFAULT_STRICT_MODULES
+    #: restrict the run to these codes (empty = all registered rules).
+    select: tuple[str, ...] = ()
+    #: codes dropped from the run after ``select``.
+    ignore: tuple[str, ...] = ()
+
+    def active_codes(self, registered: frozenset[str]) -> frozenset[str]:
+        codes = frozenset(self.select) & registered if self.select else registered
+        return codes - frozenset(self.ignore)
+
+    def is_strict_typed(self, module: str | None) -> bool:
+        """Whether ``module`` (dotted) falls under the typing gate."""
+        if module is None:
+            return False
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.strict_typed_modules
+        )
+
+
+def find_pyproject(start: pathlib.Path) -> pathlib.Path | None:
+    """The nearest ``pyproject.toml`` at or above ``start``."""
+    node = start if start.is_dir() else start.parent
+    for candidate in (node, *node.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(anchor: pathlib.Path | None = None) -> LintConfig:
+    """Configuration for a run anchored at ``anchor`` (a linted path).
+
+    Missing file or missing ``[tool.reprolint]`` table falls back to the
+    defaults, so the linter runs on fixture trees outside the repo.
+    """
+    pyproject = find_pyproject(anchor or pathlib.Path.cwd())
+    if pyproject is None:
+        return LintConfig()
+    try:
+        with pyproject.open("rb") as handle:
+            data = tomllib.load(handle)
+    except (OSError, tomllib.TOMLDecodeError):
+        return LintConfig()
+    table = data.get("tool", {}).get("reprolint", {})
+    if not isinstance(table, dict):
+        return LintConfig()
+    return LintConfig(
+        strict_typed_modules=tuple(
+            table.get("strict-typed-modules", DEFAULT_STRICT_MODULES)
+        ),
+        select=tuple(table.get("select", ())),
+        ignore=tuple(table.get("ignore", ())),
+    )

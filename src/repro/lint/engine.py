@@ -1,0 +1,359 @@
+"""The lint driver: file loading, suppressions, the project pre-pass.
+
+Linting is two-phase. The pre-pass parses every file once and builds a
+:class:`ProjectIndex` — the class hierarchy (to find CTUP monitor
+subclasses wherever they live), the set of deprecated surfaces (any
+function that raises ``DeprecationWarning``), and the scheme registry
+literal from ``repro.api``. The rule pass then runs every registered
+rule over every file against that shared index, filters the findings
+through the suppression comments, and returns one sorted report.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import pathlib
+import re
+import tokenize
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.registry import RULES, Violation, known_codes
+
+#: ``# reprolint: disable=RPL001,RPL002 -- reason`` (file-level with
+#: ``disable-file``). The reason is mandatory; RPL000 enforces it.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Z0-9,\s]+?)\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis"}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Suppression:
+    """One parsed ``reprolint: disable`` comment."""
+
+    codes: tuple[str, ...]
+    line: int
+    file_level: bool
+    reason: str | None
+    #: whether the comment sits alone on its line (then it covers the
+    #: next code line instead of its own).
+    standalone: bool
+
+
+class SourceFile:
+    """One parsed source file plus everything rules need from it."""
+
+    def __init__(self, path: str, text: str, module: str | None) -> None:
+        self.path = path
+        self.text = text
+        self.module = module
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        self.suppressions = list(_parse_suppressions(text))
+
+    def in_packages(self, *prefixes: str) -> bool:
+        """Whether this file's module falls under any dotted prefix."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == p or self.module.startswith(p + ".")
+            for p in prefixes
+        )
+
+    def suppressed_codes_for_line(self, line: int) -> frozenset[str]:
+        codes: set[str] = set()
+        for sup in self.suppressions:
+            if sup.file_level:
+                codes.update(sup.codes)
+            elif sup.standalone and sup.line + 1 == line:
+                codes.update(sup.codes)
+            elif not sup.standalone and sup.line == line:
+                codes.update(sup.codes)
+        return frozenset(codes)
+
+
+def _parse_suppressions(text: str) -> Iterator[Suppression]:
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip()
+                for code in match.group("codes").split(",")
+                if code.strip()
+            )
+            yield Suppression(
+                codes=codes,
+                line=token.start[0],
+                file_level=match.group("kind") == "disable-file",
+                reason=match.group("reason"),
+                standalone=token.line[: token.start[1]].strip() == "",
+            )
+    except tokenize.TokenError:  # unterminated strings etc.: no comments
+        return
+
+
+# -- the project-wide pre-pass ------------------------------------------
+
+
+@dataclasses.dataclass(slots=True)
+class ClassInfo:
+    """What the pre-pass records about one class definition."""
+
+    name: str
+    module: str | None
+    path: str
+    line: int
+    bases: tuple[str, ...]
+    #: method name -> definition line.
+    methods: dict[str, int]
+    #: method name -> number of positional parameters (incl. self).
+    method_arity: dict[str, int]
+
+
+class ProjectIndex:
+    """Cross-file facts shared by every rule."""
+
+    def __init__(
+        self,
+        sources: Sequence[SourceFile],
+        config: LintConfig | None = None,
+    ) -> None:
+        self.config = config or LintConfig()
+        self.sources = tuple(sources)
+        #: simple class name -> info (package classes shadow fixture ones).
+        self.classes: dict[str, ClassInfo] = {}
+        #: function names whose body raises DeprecationWarning, with the
+        #: (path, line) of the definition.
+        self.deprecated: dict[str, tuple[str, int]] = {}
+        #: class names registered as values of ``repro.api.SCHEMES``.
+        self.scheme_classes: dict[str, tuple[str, int]] = {}
+        for source in sources:
+            self._index_file(source)
+
+    def _index_file(self, source: SourceFile) -> None:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                self._index_class(source, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _raises_deprecation(node):
+                    self.deprecated.setdefault(
+                        node.name, (source.path, node.lineno)
+                    )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._maybe_index_schemes(source, node)
+
+    def _index_class(self, source: SourceFile, node: ast.ClassDef) -> None:
+        methods: dict[str, int] = {}
+        arity: dict[str, int] = {}
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.setdefault(item.name, item.lineno)
+                arity.setdefault(
+                    item.name,
+                    len(item.args.posonlyargs) + len(item.args.args),
+                )
+        info = ClassInfo(
+            name=node.name,
+            module=source.module,
+            path=source.path,
+            line=node.lineno,
+            bases=tuple(
+                base
+                for base in (_base_name(b) for b in node.bases)
+                if base is not None
+            ),
+            methods=methods,
+            method_arity=arity,
+        )
+        existing = self.classes.get(node.name)
+        # package classes win over same-named fixture/test classes.
+        if existing is None or (existing.module is None and source.module):
+            self.classes[node.name] = info
+
+    def _maybe_index_schemes(
+        self, source: SourceFile, node: ast.Assign | ast.AnnAssign
+    ) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "SCHEMES" for t in targets
+        ):
+            return
+        value = node.value
+        if not isinstance(value, ast.Dict):
+            return
+        for entry in value.values:
+            if isinstance(entry, ast.Name):
+                self.scheme_classes.setdefault(
+                    entry.id, (source.path, entry.lineno)
+                )
+
+    # -- hierarchy queries ------------------------------------------------
+
+    def ancestors(self, class_name: str) -> Iterator[ClassInfo]:
+        """Known project ancestors of ``class_name``, nearest first."""
+        seen: set[str] = set()
+        stack = list(self.classes[class_name].bases) if class_name in self.classes else []
+        while stack:
+            base = stack.pop(0)
+            if base in seen:
+                continue
+            seen.add(base)
+            info = self.classes.get(base)
+            if info is not None:
+                yield info
+                stack.extend(info.bases)
+
+    def is_descendant_of(self, class_name: str, root: str) -> bool:
+        return any(info.name == root for info in self.ancestors(class_name))
+
+    def monitor_classes(self) -> Iterator[ClassInfo]:
+        """Every known subclass of ``CTUPMonitor`` (the root excluded)."""
+        for name, info in self.classes.items():
+            if name != "CTUPMonitor" and self.is_descendant_of(name, "CTUPMonitor"):
+                yield info
+
+
+def _raises_deprecation(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for inner in ast.walk(node):
+        if not isinstance(inner, ast.Call):
+            continue
+        func = inner.func
+        is_warn = (
+            isinstance(func, ast.Attribute) and func.attr == "warn"
+        ) or (isinstance(func, ast.Name) and func.id == "warn")
+        if not is_warn:
+            continue
+        candidates = list(inner.args[1:]) + [
+            kw.value for kw in inner.keywords if kw.arg == "category"
+        ]
+        for arg in candidates:
+            if isinstance(arg, ast.Name) and arg.id == "DeprecationWarning":
+                return True
+            if isinstance(arg, ast.Attribute) and arg.attr == "DeprecationWarning":
+                return True
+    return False
+
+
+def _base_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Generic[...] style bases
+        return _base_name(node.value)
+    return None
+
+
+# -- file collection ----------------------------------------------------
+
+
+def module_name_of(path: pathlib.Path) -> str | None:
+    """Dotted module name, walking packages up from the file.
+
+    Returns ``None`` for files outside any package (tests, fixtures) —
+    package-scoped rules skip those.
+    """
+    parts = [path.stem] if path.stem != "__init__" else []
+    node = path.parent
+    while (node / "__init__.py").is_file():
+        parts.insert(0, node.name)
+        node = node.parent
+    return ".".join(parts) if parts else None
+
+
+def collect_files(paths: Iterable[str | pathlib.Path]) -> list[pathlib.Path]:
+    """Every lintable ``.py`` file under ``paths`` (sorted, de-duplicated)."""
+    out: set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIR_NAMES & set(candidate.parts):
+                    out.add(candidate)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+# -- the run ------------------------------------------------------------
+
+
+@dataclasses.dataclass(slots=True)
+class LintResult:
+    """Everything one run produced."""
+
+    violations: list[Violation]
+    files_checked: int
+    parse_errors: list[Violation]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def all_findings(self) -> list[Violation]:
+        return sorted(
+            self.parse_errors + self.violations, key=Violation.sort_key
+        )
+
+
+def lint_sources(
+    sources: Sequence[SourceFile], config: LintConfig | None = None
+) -> LintResult:
+    """Run every active rule over already-parsed sources."""
+    config = config or LintConfig()
+    project = ProjectIndex(sources, config)
+    active = config.active_codes(known_codes())
+    violations: list[Violation] = []
+    for source in sources:
+        for code in sorted(active):
+            for violation in RULES[code].run(source, project):
+                if violation.code in source.suppressed_codes_for_line(
+                    violation.line
+                ):
+                    continue
+                violations.append(violation)
+    violations.sort(key=Violation.sort_key)
+    return LintResult(
+        violations=violations,
+        files_checked=len(sources),
+        parse_errors=[],
+    )
+
+
+def lint_paths(
+    paths: Sequence[str | pathlib.Path], config: LintConfig | None = None
+) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    files = collect_files(paths)
+    if config is None:
+        anchor = files[0] if files else pathlib.Path.cwd()
+        config = load_config(pathlib.Path(anchor))
+    sources: list[SourceFile] = []
+    parse_errors: list[Violation] = []
+    for path in files:
+        try:
+            text = path.read_text(encoding="utf-8")
+            sources.append(SourceFile(str(path), text, module_name_of(path)))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            parse_errors.append(
+                Violation(
+                    code="RPLE00",
+                    message=f"could not parse: {exc}",
+                    path=str(path),
+                    line=int(line),
+                )
+            )
+    result = lint_sources(sources, config)
+    result.parse_errors = parse_errors
+    return result

@@ -1,0 +1,76 @@
+"""Reporters: human text and machine JSON.
+
+The JSON schema is part of the contract (CI and tests parse it):
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "ok": false,
+      "files_checked": 12,
+      "violations": [
+        {"code": "RPL002", "message": "...", "path": "...",
+         "line": 10, "col": 4}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.registry import RULES
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: CODE message`` line per finding."""
+    findings = result.all_findings()
+    lines = [
+        f"{v.path}:{v.line}:{v.col}: {v.code} {v.message}" for v in findings
+    ]
+    by_code: dict[str, int] = {}
+    for violation in findings:
+        by_code[violation.code] = by_code.get(violation.code, 0) + 1
+    if findings:
+        breakdown = ", ".join(
+            f"{code} x{count}" for code, count in sorted(by_code.items())
+        )
+        lines.append(
+            f"{len(findings)} violation(s) in {result.files_checked} "
+            f"file(s) ({breakdown})"
+        )
+    else:
+        lines.append(f"{result.files_checked} file(s) clean")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    findings = result.all_findings()
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "violations": [
+            {
+                "code": v.code,
+                "message": v.message,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+            }
+            for v in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The registered rule table (``--list-rules``)."""
+    lines = []
+    for code in sorted(RULES):
+        registered = RULES[code]
+        lines.append(f"{code}  {registered.name}: {registered.summary}")
+    return "\n".join(lines)

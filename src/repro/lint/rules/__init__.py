@@ -1,0 +1,13 @@
+"""Rule modules; importing this package populates the registry."""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    contracts,
+    counters,
+    deprecation,
+    determinism,
+    hygiene,
+    threads,
+)
+from repro.lint import typing_gate  # noqa: F401  (registers RPLT01)

@@ -1,0 +1,73 @@
+"""RPL005 — deprecation hygiene.
+
+The package promises (via pyproject's ``filterwarnings =
+["error::DeprecationWarning:repro"]``) that no code *inside* ``repro``
+calls its own deprecated surface — the tier-1 suite turns such a call
+into a hard error at runtime. This rule proves it statically: the
+pre-pass collects every function that raises ``DeprecationWarning``
+(``CTUPMonitor.run_stream`` today, anything added later automatically),
+and any in-package call to such a name is flagged, except recursion
+inside the deprecated definition itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ProjectIndex, SourceFile
+from repro.lint.registry import Violation, rule
+
+
+@rule(
+    "RPL005",
+    "deprecation-hygiene",
+    "no in-package calls to surfaces that raise DeprecationWarning "
+    "(cross-checked by the pytest error::DeprecationWarning:repro gate)",
+)
+def check(source: SourceFile, project: ProjectIndex) -> Iterator[Violation]:
+    if not source.in_packages("repro") or not project.deprecated:
+        return
+    spans = _function_spans(source.tree)
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _called_name(node.func)
+        if name is None or name not in project.deprecated:
+            continue
+        if any(
+            start <= node.lineno <= end for start, end in spans.get(name, ())
+        ):
+            continue  # the deprecated body delegating / recursing
+        defined_at = project.deprecated[name]
+        yield Violation(
+            code="RPL005",
+            message=(
+                f"call to deprecated surface '{name}' (declared at "
+                f"{defined_at[0]}:{defined_at[1]}) from inside the "
+                "package — the pytest DeprecationWarning gate makes this "
+                "a runtime error; use repro.api.open_session / the "
+                "replacement the warning names"
+            ),
+            path=source.path,
+            line=node.lineno,
+            col=node.col_offset,
+        )
+
+
+def _called_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _function_spans(tree: ast.AST) -> dict[str, list[tuple[int, int]]]:
+    spans: dict[str, list[tuple[int, int]]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            spans.setdefault(node.name, []).append(
+                (node.lineno, node.end_lineno or node.lineno)
+            )
+    return spans

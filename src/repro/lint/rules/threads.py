@@ -1,0 +1,147 @@
+"""RPL004 — thread-safety of the shard drain pool.
+
+``ShardedMonitor`` may drain shard queues on a thread pool. The whole
+correctness argument (PR 3) is that drained work touches *only* the one
+shard passed in — shards share no mutable state, so results and merged
+counters are independent of thread scheduling. This rule finds the
+functions handed to an executor (``pool.map(self._drain, ...)`` /
+``pool.submit(...)``) inside ``repro.shard`` and flags any mutation of
+shared state from their bodies: assignments to ``self`` attributes,
+mutating calls on ``self``-rooted objects (the plan, the router, the
+merger), and ``global``/``nonlocal`` rebinding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ProjectIndex, SourceFile
+from repro.lint.registry import Violation, rule
+
+SCOPES = ("repro.shard",)
+
+_EXECUTOR_ENTRYPOINTS = frozenset({"map", "submit"})
+_MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "clear",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "insert",
+        "extend",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+
+@rule(
+    "RPL004",
+    "shard-thread-safety",
+    "functions drained on the shard thread pool must not mutate shared "
+    "monitor state",
+)
+def check(source: SourceFile, project: ProjectIndex) -> Iterator[Violation]:
+    if not source.in_packages(*SCOPES):
+        return
+    pooled = _pooled_function_names(source.tree)
+    if not pooled:
+        return
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in pooled
+        ):
+            yield from _check_pooled_body(source, node)
+
+
+def _pooled_function_names(tree: ast.AST) -> set[str]:
+    """Names of methods/functions passed to ``.map`` / ``.submit``."""
+    pooled: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            not isinstance(func, ast.Attribute)
+            or func.attr not in _EXECUTOR_ENTRYPOINTS
+            or not node.args
+        ):
+            continue
+        worker = node.args[0]
+        if isinstance(worker, ast.Attribute):
+            pooled.add(worker.attr)
+        elif isinstance(worker, ast.Name):
+            pooled.add(worker.id)
+    return pooled
+
+
+def _check_pooled_body(
+    source: SourceFile, node: ast.FunctionDef | ast.AsyncFunctionDef
+) -> Iterator[Violation]:
+    for inner in ast.walk(node):
+        if isinstance(inner, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                inner.targets
+                if isinstance(inner, ast.Assign)
+                else [inner.target]
+            )
+            for target in targets:
+                if _is_self_rooted(target):
+                    yield _violation(
+                        source,
+                        target,
+                        node.name,
+                        f"assignment to '{ast.unparse(target)}'",
+                    )
+        elif isinstance(inner, ast.Call):
+            func = inner.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and _is_self_rooted(func.value)
+            ):
+                yield _violation(
+                    source,
+                    inner,
+                    node.name,
+                    f"mutating call '{ast.unparse(func)}(...)'",
+                )
+        elif isinstance(inner, (ast.Global, ast.Nonlocal)):
+            yield _violation(
+                source,
+                inner,
+                node.name,
+                f"{'global' if isinstance(inner, ast.Global) else 'nonlocal'} "
+                f"rebinding of {', '.join(inner.names)}",
+            )
+
+
+def _is_self_rooted(node: ast.expr) -> bool:
+    """Whether the expression reaches shared state through ``self``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _violation(
+    source: SourceFile, node: ast.AST, function: str, what: str
+) -> Violation:
+    return Violation(
+        code="RPL004",
+        message=(
+            f"{what} inside '{function}', which runs on the shard drain "
+            "pool — pooled work may only touch the shard it was handed; "
+            "shared plan/router/merger state must stay read-only "
+            "(determinism of the parallel drain, PR 3)"
+        ),
+        path=source.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+    )

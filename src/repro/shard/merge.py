@@ -22,9 +22,12 @@ can be left alone — the refill rule of the merge.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.model import SafetyRecord
+
+if TYPE_CHECKING:
+    from repro.core.monitor import CTUPMonitor
 
 #: stand-in for "any possible place id is larger": makes ``(sk, _FLOOR_ID)``
 #: an *exclusive* bound below every real ``(safety >= sk, id)`` pair.
@@ -103,7 +106,7 @@ class GlobalTopK:
 
     def _pull(
         self,
-        monitor,
+        monitor: "CTUPMonitor",
         s: int,
         request: int,
         pulled: list[list[SafetyRecord]],

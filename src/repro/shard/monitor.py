@@ -35,7 +35,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:
+    from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.config import CTUPConfig
 from repro.core.metrics import InitReport, MonitorCounters
@@ -223,7 +226,7 @@ class ShardedMonitor(CTUPMonitor):
 
     # -- executor lifecycle ----------------------------------------------
 
-    def _executor(self):
+    def _executor(self) -> "ThreadPoolExecutor":
         if self._pool is None:
             from concurrent.futures import ThreadPoolExecutor
 
@@ -242,5 +245,5 @@ class ShardedMonitor(CTUPMonitor):
     def __enter__(self) -> "ShardedMonitor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -46,7 +46,7 @@ class TestCompare:
         report = compare(make_doc(), make_doc())
         assert report.findings == []
         assert report.ok(strict=True)
-        assert "match" in report.format()
+        assert "match" in report.render()
 
     def test_machine_metadata_is_not_compared(self):
         current = make_doc()
@@ -164,7 +164,7 @@ def test_report_counts_by_kind():
     )
     assert len(report.regressions) == 1
     assert len(report.improvements) == 1
-    assert "1 regression" in report.format()
+    assert "1 regression" in report.render()
 
 
 def test_committed_baseline_is_structurally_current():

@@ -61,6 +61,7 @@ class TestReadme:
             "repro.bench",
             "repro.experiments",
             "repro.validate",
+            "repro.lint",
         ):
             assert package in readme, package
 

@@ -1,0 +1,583 @@
+"""reprolint: every rule fires on a bad fixture, stays quiet on a good
+one, suppressions and the reporters behave, and — the self-check — the
+shipped tree lints clean."""
+
+import json
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    RULES,
+    LintConfig,
+    lint_paths,
+    lint_sources,
+    render_json,
+    render_text,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import (
+    SourceFile,
+    collect_files,
+    module_name_of,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def src(text, module="repro.core.fixture", path="fixture.py"):
+    return SourceFile(path, textwrap.dedent(text), module)
+
+
+def run_rules(sources, *select):
+    config = LintConfig(select=tuple(select))
+    return lint_sources(sources, config)
+
+
+def codes_of(result):
+    return [v.code for v in result.violations]
+
+
+#: a stub of the real base class so ProjectIndex can resolve the
+#: hierarchy without parsing the whole package. Lives in the owning
+#: module name, so its lifecycle defs are legal.
+MONITOR_BASE = src(
+    """
+    class CTUPMonitor:
+        def initialize(self): ...
+        def apply_update(self, update): ...
+        def refresh(self): ...
+        def process(self, update): ...
+        def run_stream(self, updates): ...
+        def _build_initial_state(self): ...
+        def _apply(self, update): ...
+        def _refresh(self): ...
+        def top_k(self): ...
+        def sk(self): ...
+        def partial_top_k(self, m): ...
+    """,
+    module="repro.core.monitor",
+    path="monitor_stub.py",
+)
+
+GOOD_SCHEME = """
+    class GoodScheme(CTUPMonitor):
+        def _build_initial_state(self): ...
+        def _apply(self, update): ...
+        def _refresh(self): ...
+        def top_k(self): ...
+        def sk(self): ...
+        def partial_top_k(self, m): ...
+"""
+
+
+# -- RPL001: scheme contract --------------------------------------------
+
+
+class TestSchemeContract:
+    def test_good_scheme_is_clean(self):
+        fixture = src(GOOD_SCHEME, module="repro.ext.fixture")
+        result = run_rules([MONITOR_BASE, fixture], "RPL001")
+        assert codes_of(result) == []
+
+    def test_missing_phase_api_fires(self):
+        fixture = src(
+            """
+            class HollowScheme(CTUPMonitor):
+                def top_k(self): ...
+            """,
+            module="repro.ext.fixture",
+        )
+        result = run_rules([MONITOR_BASE, fixture], "RPL001")
+        messages = [v.message for v in result.violations]
+        assert len(messages) == 4  # _build_initial_state/_apply/_refresh/sk
+        assert any("_build_initial_state" in m for m in messages)
+        assert all(v.code == "RPL001" for v in result.violations)
+
+    def test_lifecycle_override_fires(self):
+        fixture = src(
+            GOOD_SCHEME
+            + "        def process(self, update):\n"
+            + "            return None\n",
+            module="repro.ext.fixture",
+        )
+        result = run_rules([MONITOR_BASE, fixture], "RPL001")
+        assert codes_of(result) == ["RPL001"]
+        assert "process" in result.violations[0].message
+
+    def test_phase_api_may_come_from_an_intermediate_class(self):
+        base = src(GOOD_SCHEME, module="repro.ext.fixture", path="a.py")
+        leaf = src(
+            """
+            class LeafScheme(GoodScheme):
+                pass
+            """,
+            module="repro.ext.fixture2",
+            path="b.py",
+        )
+        result = run_rules([MONITOR_BASE, base, leaf], "RPL001")
+        assert codes_of(result) == []
+
+    def test_partial_top_k_arity_fires(self):
+        fixture = src(
+            GOOD_SCHEME.replace(
+                "def partial_top_k(self, m):",
+                "def partial_top_k(self, m, extra):",
+            ),
+            module="repro.ext.fixture",
+        )
+        result = run_rules([MONITOR_BASE, fixture], "RPL001")
+        assert codes_of(result) == ["RPL001"]
+        assert "(self, m)" in result.violations[0].message
+
+    def test_schemes_registry_rejects_non_monitor(self):
+        api = src(
+            """
+            class Impostor:
+                pass
+
+            SCHEMES = {"impostor": Impostor}
+            """,
+            module="repro.api",
+            path="api_stub.py",
+        )
+        result = run_rules([MONITOR_BASE, api], "RPL001")
+        assert codes_of(result) == ["RPL001"]
+        assert "Impostor" in result.violations[0].message
+
+
+# -- RPL002: counter discipline -----------------------------------------
+
+
+class TestCounterDiscipline:
+    def test_foreign_io_counter_mutation_fires(self):
+        fixture = src(
+            """
+            def sneak(stats):
+                stats.page_reads += 1
+            """,
+            module="repro.core.fixture",
+        )
+        result = run_rules([fixture], "RPL002")
+        assert codes_of(result) == ["RPL002"]
+        assert "repro.storage" in result.violations[0].message
+
+    def test_owner_module_may_mutate(self):
+        fixture = src(
+            """
+            def charge(stats):
+                stats.page_reads += 1
+            """,
+            module="repro.storage.fixture",
+        )
+        assert codes_of(run_rules([fixture], "RPL002")) == []
+
+    def test_same_named_self_attribute_is_exempt(self):
+        fixture = src(
+            """
+            class Driver:
+                def bump(self):
+                    self.updates_processed += 1
+            """,
+            module="repro.engine.fixture",
+        )
+        assert codes_of(run_rules([fixture], "RPL002")) == []
+
+    def test_timing_fields_outside_lifecycle_fire(self):
+        fixture = src(
+            """
+            def fake_timing(monitor):
+                monitor.counters.time_access_s += 0.5
+            """,
+            module="repro.ext.fixture",
+        )
+        result = run_rules([fixture], "RPL002")
+        assert codes_of(result) == ["RPL002"]
+
+    def test_placestore_internal_access_fires(self):
+        fixture = src(
+            """
+            def peek(store):
+                return store._pages[0]
+            """,
+            module="repro.core.fixture",
+        )
+        result = run_rules([fixture], "RPL002")
+        assert codes_of(result) == ["RPL002"]
+        assert "IoStats" in result.violations[0].message
+
+
+# -- RPL003: determinism ------------------------------------------------
+
+
+class TestDeterminism:
+    def test_random_import_fires(self):
+        fixture = src("import random\n", module="repro.core.fixture")
+        assert codes_of(run_rules([fixture], "RPL003")) == ["RPL003"]
+
+    def test_wall_clock_fires(self):
+        fixture = src(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            module="repro.shard.fixture",
+        )
+        assert codes_of(run_rules([fixture], "RPL003")) == ["RPL003"]
+
+    def test_set_iteration_fires(self):
+        fixture = src(
+            """
+            def walk(cells: set[int]) -> list[int]:
+                out = []
+                for cell in cells:
+                    out.append(cell)
+                return out
+            """,
+            module="repro.index.fixture",
+        )
+        result = run_rules([fixture], "RPL003")
+        assert codes_of(result) == ["RPL003"]
+
+    def test_sorted_set_iteration_is_clean(self):
+        fixture = src(
+            """
+            def walk(cells: set[int]) -> list[int]:
+                out = []
+                for cell in sorted(cells):
+                    out.append(cell)
+                return out
+            """,
+            module="repro.index.fixture",
+        )
+        assert codes_of(run_rules([fixture], "RPL003")) == []
+
+    def test_rule_is_scoped_to_update_path_packages(self):
+        fixture = src("import random\n", module="repro.workloads.fixture")
+        assert codes_of(run_rules([fixture], "RPL003")) == []
+
+
+# -- RPL004: shard thread-safety ----------------------------------------
+
+
+class TestShardThreadSafety:
+    def test_pooled_mutation_of_self_fires(self):
+        fixture = src(
+            """
+            class Sharded:
+                def drain_all(self, pool, busy):
+                    return list(pool.map(self._drain, busy))
+
+                def _drain(self, shard):
+                    self.drained += 1
+                    self.log.append(shard)
+                    return shard
+            """,
+            module="repro.shard.fixture",
+        )
+        result = run_rules([fixture], "RPL004")
+        assert codes_of(result) == ["RPL004", "RPL004"]
+        assert "_drain" in result.violations[0].message
+
+    def test_pooled_function_reading_self_is_clean(self):
+        fixture = src(
+            """
+            class Sharded:
+                def drain_all(self, pool, busy):
+                    return list(pool.map(self._drain, busy))
+
+                def _drain(self, shard):
+                    work = shard.queue
+                    shard.counter += 1
+                    return len(work) + self.parallelism
+            """,
+            module="repro.shard.fixture",
+        )
+        assert codes_of(run_rules([fixture], "RPL004")) == []
+
+
+# -- RPL005: deprecation hygiene ----------------------------------------
+
+
+class TestDeprecationHygiene:
+    def test_in_package_call_to_deprecated_surface_fires(self):
+        fixture = src(
+            """
+            import warnings
+
+            def run_stream(self, updates):
+                warnings.warn("use process()", DeprecationWarning)
+
+            def helper(monitor):
+                return monitor.run_stream([])
+            """,
+            module="repro.core.fixture",
+        )
+        result = run_rules([fixture], "RPL005")
+        assert codes_of(result) == ["RPL005"]
+        assert "run_stream" in result.violations[0].message
+
+    def test_delegation_inside_the_deprecated_body_is_clean(self):
+        fixture = src(
+            """
+            import warnings
+
+            def run_stream(self, updates):
+                warnings.warn("use process()", DeprecationWarning)
+                return run_stream(updates)
+            """,
+            module="repro.core.fixture",
+        )
+        assert codes_of(run_rules([fixture], "RPL005")) == []
+
+
+# -- RPL006 / RPL007: hygiene -------------------------------------------
+
+
+class TestHygiene:
+    def test_mutable_default_fires(self):
+        fixture = src("def f(xs=[]):\n    return xs\n")
+        assert codes_of(run_rules([fixture], "RPL006")) == ["RPL006"]
+
+    def test_factory_call_default_fires(self):
+        fixture = src("def f(table=dict()):\n    return table\n")
+        assert codes_of(run_rules([fixture], "RPL006")) == ["RPL006"]
+
+    def test_none_default_is_clean(self):
+        fixture = src("def f(xs=None):\n    return xs or []\n")
+        assert codes_of(run_rules([fixture], "RPL006")) == []
+
+    def test_shadowed_builtin_fires(self):
+        fixture = src("def helper(list):\n    return list\n")
+        assert codes_of(run_rules([fixture], "RPL007")) == ["RPL007"]
+
+    def test_method_named_format_fires(self):
+        fixture = src(
+            """
+            class Report:
+                def format(self):
+                    return ""
+            """
+        )
+        assert codes_of(run_rules([fixture], "RPL007")) == ["RPL007"]
+
+
+# -- RPLT01: the typing gate --------------------------------------------
+
+
+class TestTypingGate:
+    def test_unannotated_function_in_strict_module_fires(self):
+        fixture = src(
+            "def f(x):\n    return x\n", module="repro.core.fixture"
+        )
+        result = run_rules([fixture], "RPLT01")
+        # the parameter and the return annotation are both missing.
+        assert codes_of(result) == ["RPLT01", "RPLT01"]
+
+    def test_fully_annotated_function_is_clean(self):
+        fixture = src(
+            """
+            class Box:
+                def get(self, key: int, *extra: object) -> int:
+                    return key
+            """,
+            module="repro.core.fixture",
+        )
+        assert codes_of(run_rules([fixture], "RPLT01")) == []
+
+    def test_non_strict_module_is_exempt(self):
+        fixture = src(
+            "def f(x):\n    return x\n", module="repro.bench.fixture"
+        )
+        assert codes_of(run_rules([fixture], "RPLT01")) == []
+
+    def test_allowlist_is_configurable(self):
+        fixture = src(
+            "def f(x):\n    return x\n", module="repro.bench.fixture"
+        )
+        config = LintConfig(
+            strict_typed_modules=("repro.bench",), select=("RPLT01",)
+        )
+        result = lint_sources([fixture], config)
+        assert codes_of(result) == ["RPLT01", "RPLT01"]
+
+
+# -- suppressions -------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_trailing_suppression_silences_its_line(self):
+        fixture = src(
+            "def f(xs=[]):  # reprolint: disable=RPL006 -- fixture\n"
+            "    return xs\n"
+        )
+        assert codes_of(run_rules([fixture], "RPL000", "RPL006")) == []
+
+    def test_standalone_suppression_covers_the_next_line(self):
+        fixture = src(
+            "# reprolint: disable=RPL006 -- fixture\n"
+            "def f(xs=[]):\n"
+            "    return xs\n"
+        )
+        assert codes_of(run_rules([fixture], "RPL000", "RPL006")) == []
+
+    def test_file_level_suppression_covers_everything(self):
+        fixture = src(
+            "# reprolint: disable-file=RPL006 -- fixture file\n"
+            "def f(xs=[]):\n"
+            "    return xs\n"
+            "def g(ys={}):\n"
+            "    return ys\n"
+        )
+        assert codes_of(run_rules([fixture], "RPL000", "RPL006")) == []
+
+    def test_suppression_does_not_leak_to_other_rules(self):
+        fixture = src(
+            "def f(list=[]):  # reprolint: disable=RPL006 -- fixture\n"
+            "    return list\n"
+        )
+        result = run_rules([fixture], "RPL000", "RPL006", "RPL007")
+        assert codes_of(result) == ["RPL007"]
+
+    def test_missing_reason_fires_rpl000(self):
+        fixture = src(
+            "def f(xs=[]):  # reprolint: disable=RPL006\n    return xs\n"
+        )
+        result = run_rules([fixture], "RPL000", "RPL006")
+        assert "RPL000" in codes_of(result)
+
+    def test_unknown_code_fires_rpl000(self):
+        fixture = src("x = 1  # reprolint: disable=RPL999 -- because\n")
+        result = run_rules([fixture], "RPL000")
+        assert codes_of(result) == ["RPL000"]
+
+
+# -- reporters ----------------------------------------------------------
+
+
+class TestReporters:
+    def _result(self):
+        fixture = src("def f(xs=[]):\n    return xs\n", path="pkg/f.py")
+        return run_rules([fixture], "RPL006")
+
+    def test_json_schema(self):
+        payload = json.loads(render_json(self._result()))
+        assert payload["version"] == 1
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        (violation,) = payload["violations"]
+        assert set(violation) == {"code", "message", "path", "line", "col"}
+        assert violation["code"] == "RPL006"
+        assert violation["path"] == "pkg/f.py"
+        assert violation["line"] == 1
+
+    def test_json_clean_tree(self):
+        payload = json.loads(render_json(run_rules([], "RPL006")))
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+
+    def test_text_report(self):
+        text = render_text(self._result())
+        assert "pkg/f.py:1:" in text
+        assert "RPL006" in text
+        assert "1 violation(s) in 1 file(s)" in text
+
+
+# -- the driver ---------------------------------------------------------
+
+
+class TestDriver:
+    def test_every_shipped_rule_is_registered(self):
+        expected = {
+            "RPL000",
+            "RPL001",
+            "RPL002",
+            "RPL003",
+            "RPL004",
+            "RPL005",
+            "RPL006",
+            "RPL007",
+            "RPLT01",
+        }
+        assert expected <= set(RULES)
+
+    def test_module_name_resolution(self):
+        path = REPO_ROOT / "src" / "repro" / "core" / "monitor.py"
+        assert module_name_of(path) == "repro.core.monitor"
+
+    def test_collect_files_skips_caches(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        files = collect_files([tmp_path])
+        assert [f.name for f in files] == ["keep.py"]
+
+    def test_unparsable_file_is_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        result = lint_paths([bad])
+        assert not result.ok
+        assert result.violations == []
+        assert [v.code for v in result.parse_errors] == ["RPLE00"]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        assert lint_main([str(clean)]) == 0
+        capsys.readouterr()
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(xs=[]):\n    return xs\n")
+        assert lint_main([str(dirty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["violations"][0]["code"] == "RPL006"
+
+    def test_cli_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RPL001" in out and "RPLT01" in out
+
+
+# -- the self-check -----------------------------------------------------
+
+
+class TestShippedTree:
+    def test_src_and_tests_lint_clean(self):
+        result = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+        assert result.ok, render_text(result)
+
+    def test_module_entry_point_runs(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src", "--format", "json"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={
+                **__import__("os").environ,
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+            },
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is True
+
+    def test_py_typed_marker_ships(self):
+        assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+
+    def test_pyproject_declares_the_strict_set(self):
+        import tomllib
+
+        with (REPO_ROOT / "pyproject.toml").open("rb") as handle:
+            data = tomllib.load(handle)
+        table = data["tool"]["reprolint"]
+        assert "repro.core" in table["strict-typed-modules"]
+        assert data["project"]["version"] == "1.2.0"
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-v"]))
