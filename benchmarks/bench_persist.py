@@ -1,0 +1,263 @@
+"""State-layer benchmark: snapshot size/cost, journal overhead, replay.
+
+Runs the OptCTUP scheme over a pinned-seed workload unsharded (``mono``)
+and sharded over four shards (``s4``), exercising the three durability
+paths of :mod:`repro.state`:
+
+- **snapshot**: one ``session.checkpoint()`` at the end of the stream —
+  wall cost plus the exact document size in bytes;
+- **restore**: rebuilding a monitor from that document;
+- **replay**: a journal-only recovery (no snapshot at all) that re-feeds
+  every journaled record through the ordinary pipeline.
+
+Sizes and record counts are near-deterministic for a pinned workload
+(the exported wall-clock counters jitter the JSON by a few bytes), so
+the guard treats them like counters: ``snapshot_bytes`` growing means
+the export payload changed shape, ``journal_bytes`` growing means the
+per-record encoding grew, and either deserves a deliberate baseline
+refresh rather than a silent drift. The recovered run must report the
+exact SK of the uninterrupted one — recovery that loses state fails the
+bench outright, no guard needed.
+
+CLI (also wired into CI as a smoke job)::
+
+    python benchmarks/bench_persist.py --smoke --check   # fast CI guard
+    python benchmarks/bench_persist.py --write-baseline  # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.api import open_session
+from repro.bench import build_workload
+from repro.bench.guard import (
+    SCHEMA_VERSION,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from repro.core import CTUPConfig
+from repro.state import CheckpointStore, restore_monitor
+
+BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_persist.json"
+)
+
+BENCH_NAME = "persist"
+SCHEME = "opt"
+
+#: execution modes: shard count (0 = the plain scheme).
+MODES = {"mono": 0, "s4": 4}
+
+COUNTER_METRICS = (
+    "snapshot_bytes",
+    "journal_bytes",
+    "tail_records",
+    "final_sk",
+)
+WALL_METRICS = ("snapshot_seconds", "restore_seconds", "replay_seconds")
+
+#: pinned workloads; these parameters are part of the baseline's
+#: identity — changing them is a structural break, not a regression.
+PROFILES = {
+    "smoke": dict(n_units=200, n_places=2_000, stream_length=30, seed=7),
+    "default": dict(n_units=600, n_places=8_000, stream_length=150, seed=7),
+}
+K = 5
+BATCH = 8
+
+
+def machine_metadata() -> dict:
+    import platform
+
+    import numpy as np
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+    }
+
+
+def _open(workload, config, shards, directory, resume=False):
+    return open_session(
+        SCHEME,
+        places=workload.places,
+        units=workload.units,
+        config=config,
+        shards=shards,
+        batch_size=BATCH,
+        track_changes=False,
+        checkpoint_dir=directory,
+        resume=resume,
+    )
+
+
+def _run_mode(workload, config: CTUPConfig, shards: int) -> dict:
+    stream = list(workload.stream)
+    with tempfile.TemporaryDirectory() as raw:
+        directory = pathlib.Path(raw)
+        # -- snapshot + restore: a full run, one checkpoint at the end.
+        session = _open(workload, config, shards, directory)
+        session.start()
+        for update in stream:
+            session.feed(update)
+        session.flush()
+        final_sk = session.monitor.sk()
+        start = time.perf_counter()
+        snapshot_path = session.checkpoint()
+        snapshot_seconds = time.perf_counter() - start
+        snapshot_bytes = snapshot_path.stat().st_size
+        journal_bytes = session.journal.path.stat().st_size
+        session.journal.close()
+
+        document = CheckpointStore(directory).latest()
+        start = time.perf_counter()
+        restored = restore_monitor(
+            document, places=workload.places, units=workload.units
+        )
+        restore_seconds = time.perf_counter() - start
+        if restored.sk() != final_sk:
+            raise AssertionError(
+                f"restore lost state: sk {restored.sk()} != {final_sk}"
+            )
+
+        # -- replay: journal-only recovery of a crashed (snapshot-less)
+        # run over the same stream.
+        for path in CheckpointStore(directory).snapshot_paths():
+            path.unlink()
+        start = time.perf_counter()
+        resumed = _open(workload, config, shards, directory, resume=True)
+        replay_seconds = time.perf_counter() - start
+        tail_records = resumed.applied_seq
+        if resumed.monitor.sk() != final_sk:
+            raise AssertionError(
+                f"replay lost state: sk {resumed.monitor.sk()} != {final_sk}"
+            )
+        resumed.journal.close()
+    return {
+        "snapshot_seconds": round(snapshot_seconds, 4),
+        "restore_seconds": round(restore_seconds, 4),
+        "replay_seconds": round(replay_seconds, 4),
+        "snapshot_bytes": snapshot_bytes,
+        "journal_bytes": journal_bytes,
+        "tail_records": tail_records,
+        "final_sk": final_sk,
+    }
+
+
+def run_profile(name: str) -> dict:
+    params = PROFILES[name]
+    workload = build_workload(**params)
+    config = CTUPConfig(k=K)
+    modes = {
+        mode: _run_mode(workload, config, shards)
+        for mode, shards in MODES.items()
+    }
+    return {"workload": {**params, "k": K}, "schemes": {SCHEME: modes}}
+
+
+def run_bench(profiles: list[str]) -> dict:
+    return {
+        "bench": BENCH_NAME,
+        "version": SCHEMA_VERSION,
+        "machine": machine_metadata(),
+        "profiles": {name: run_profile(name) for name in profiles},
+    }
+
+
+def _summary_lines(doc: dict) -> list[str]:
+    lines = []
+    for profile, prof in doc["profiles"].items():
+        for mode, m in prof["schemes"][SCHEME].items():
+            lines.append(
+                f"{profile:8} {mode:5} snapshot {m['snapshot_bytes']:7d} B "
+                f"in {m['snapshot_seconds'] * 1e3:6.1f} ms, "
+                f"restore {m['restore_seconds'] * 1e3:6.1f} ms, "
+                f"replay {m['tail_records']:4d} records "
+                f"({m['journal_bytes']} B) in "
+                f"{m['replay_seconds'] * 1e3:6.1f} ms"
+            )
+    return lines
+
+
+def _guard(baseline: dict, doc: dict) -> "GuardReport":
+    return compare(
+        baseline,
+        doc,
+        bench=BENCH_NAME,
+        counter_metrics=COUNTER_METRICS,
+        wall_metrics=WALL_METRICS,
+    )
+
+
+# -- pytest entry point (the CI smoke job runs this file directly) --------
+
+
+def test_persist_smoke_matches_baseline():
+    doc = run_bench(["smoke"])
+    modes = doc["profiles"]["smoke"]["schemes"][SCHEME]
+    # sharding multiplies the per-shard payloads but not the journal:
+    # the record stream is the same either way.
+    assert modes["s4"]["journal_bytes"] == modes["mono"]["journal_bytes"]
+    assert modes["s4"]["tail_records"] == modes["mono"]["tail_records"]
+    assert modes["s4"]["final_sk"] == modes["mono"]["final_sk"]
+    report = _guard(load_baseline(BASELINE_PATH), doc)
+    assert report.ok(), report.render()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="run only the fast smoke profile"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline "
+        "(exit 1 on structural mismatch)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --check: also fail on counter regressions",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"write the results to {BASELINE_PATH.name}",
+    )
+    args = parser.parse_args(argv)
+
+    profiles = ["smoke"] if args.smoke else ["smoke", "default"]
+    doc = run_bench(profiles)
+    print(json.dumps(doc["machine"], sort_keys=True))
+    for line in _summary_lines(doc):
+        print(line)
+
+    status = 0
+    if args.check:
+        try:
+            baseline = load_baseline(BASELINE_PATH)
+        except FileNotFoundError:
+            print(f"no baseline at {BASELINE_PATH}; run --write-baseline first")
+            return 1
+        report = _guard(baseline, doc)
+        print(report.render())
+        if not report.ok(strict=args.strict):
+            status = 1
+    if args.write_baseline:
+        write_baseline(BASELINE_PATH, doc)
+        print(f"baseline written to {BASELINE_PATH}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,7 +45,7 @@ from repro.shard import GlobalTopK, ShardedMonitor, ShardPlan, ShardRouter
 from repro.validate import Oracle
 from repro.workloads import generate_places, generate_units
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CTUPConfig",

@@ -23,6 +23,7 @@ stream (batching, change tracking, audits and hooks included).
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.core.basic import BasicCTUP
@@ -36,6 +37,11 @@ from repro.engine.session import MonitorSession
 from repro.model import Place, Unit
 from repro.shard.monitor import ShardedMonitor
 from repro.shard.plan import ShardPlan
+from repro.state.recovery import (
+    CheckpointPolicy,
+    CheckpointStore,
+    RecoveryManager,
+)
 
 #: every registered single-monitor scheme, by its benchmark-table name.
 SCHEMES: dict[str, Callable] = {
@@ -112,6 +118,9 @@ def open_session(
     audit_every: int = 0,
     hooks: Sequence[MonitorHooks] = (),
     track_changes: bool = True,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> MonitorSession:
     """A configured :class:`MonitorSession`, ready to ``start()``.
 
@@ -120,7 +129,52 @@ def open_session(
     ``monitor`` — e.g. one restored from a checkpoint — to adopt it.
     The session knobs (``batch_size``, ``audit_every``, ``hooks``,
     ``track_changes``) are forwarded unchanged.
+
+    ``checkpoint_dir`` attaches durable state: every update is
+    journaled there and snapshots are written every
+    ``checkpoint_every`` flush boundaries (plus one on ``close()``).
+    A fresh (non-resuming) start wipes whatever the directory held —
+    the run owns it WAL-style. With ``resume=True`` the directory is
+    recovered instead: the latest snapshot is restored, the journal
+    tail replayed, and the returned session is **already started** and
+    bit-identical to the uninterrupted run. On resume, the snapshot's
+    recorded scheme and config win over the arguments (they describe
+    the run being continued); pass the same ``batch_size`` the original
+    run used, and a callable ``scheme`` to act as the factory for
+    unregistered schemes.
     """
+    if resume:
+        if checkpoint_dir is None:
+            raise ValueError("resume=True needs a checkpoint_dir")
+        if monitor is not None:
+            raise ValueError("resume=True builds its own monitor")
+        if places is None or units is None:
+            raise ValueError("resume needs the original places + units")
+        policy = CheckpointPolicy(
+            directory=checkpoint_dir, every_batches=checkpoint_every
+        )
+        manager = RecoveryManager(
+            policy,
+            places=places,
+            units=units,
+            factory=scheme if callable(scheme) else None,
+            parallelism=parallelism,
+        )
+        return manager.resume_session(
+            fresh_monitor=lambda: make_monitor(
+                scheme,
+                places=places,
+                units=units,
+                config=config,
+                shards=shards,
+                parallelism=parallelism,
+                shard_strategy=shard_strategy,
+            ),
+            batch_size=batch_size,
+            audit_every=audit_every,
+            hooks=hooks,
+            track_changes=track_changes,
+        )
     if monitor is None:
         if places is None or units is None:
             raise ValueError(
@@ -137,12 +191,21 @@ def open_session(
         )
     elif places is not None or units is not None:
         raise ValueError("pass either a monitor or places/units, not both")
+    policy_arg: CheckpointPolicy | None = None
+    if checkpoint_dir is not None:
+        # a fresh run owns the directory: stale snapshots or journal
+        # records from an earlier run must not leak into this one.
+        CheckpointStore(checkpoint_dir).wipe()
+        policy_arg = CheckpointPolicy(
+            directory=checkpoint_dir, every_batches=checkpoint_every
+        )
     return MonitorSession(
         monitor,
         batch_size=batch_size,
         audit_every=audit_every,
         hooks=hooks,
         track_changes=track_changes,
+        checkpoint=policy_arg,
     )
 
 
@@ -151,7 +214,9 @@ __all__ = [
     "scheme_factory",
     "make_monitor",
     "open_session",
+    "CheckpointPolicy",
     "MonitorSession",
+    "RecoveryManager",
     "ShardedMonitor",
     "ShardPlan",
     "CTUPConfig",

@@ -97,6 +97,39 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--map", action="store_true", help="render the final cell map"
     )
+    simulate.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="ingest in exact bursts of this size (0 = one by one)",
+    )
+    simulate.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="journal every update there and snapshot per "
+        "--checkpoint-every (plus once when the run ends)",
+    )
+    simulate.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="with --checkpoint-dir: snapshot every N flush boundaries "
+        "(0 = only at the end)",
+    )
+    simulate.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover --checkpoint-dir and continue the interrupted run "
+        "(pass the same scenario knobs and --batch-size)",
+    )
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="inspect a checkpoint directory (snapshots + journal)",
+    )
+    checkpoint.add_argument(
+        "directory", help="a --checkpoint-dir from a previous run"
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -180,6 +213,9 @@ def _cmd_simulate(args) -> int:
             parallelism=args.parallelism,
         )
 
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
     sim = Simulation.from_scenario(
         args.scenario,
         k=args.k,
@@ -187,8 +223,20 @@ def _cmd_simulate(args) -> int:
         n_units=args.units,
         seed=args.seed,
         monitor_factory=factory,
+        batch_size=args.batch_size,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
+    if args.resume:
+        print(
+            f"resumed from {args.checkpoint_dir}: "
+            f"{sim.session.updates_processed} updates recovered "
+            f"(journal seq {sim.session.applied_seq})"
+        )
     outcome = sim.run(updates=args.updates)
+    if args.checkpoint_dir is not None:
+        sim.session.close()
     summary = outcome.summary
     print(
         f"{args.scenario}: {outcome.updates} updates, "
@@ -217,6 +265,53 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.state import CheckpointStore, SnapshotError, UpdateJournal
+
+    directory = Path(args.directory)
+    if not directory.is_dir():
+        print(f"no checkpoint directory at {directory}", file=sys.stderr)
+        return 1
+    store = CheckpointStore(directory)
+    snapshots = store.snapshot_paths()
+    try:
+        document = store.latest()
+    except SnapshotError as error:
+        print(f"unreadable snapshot: {error}", file=sys.stderr)
+        return 1
+    if document is None:
+        print(f"{directory}: no snapshots")
+    else:
+        meta = document.get("session", {})
+        print(f"{directory}: {len(snapshots)} snapshot(s)")
+        print(
+            f"latest: scheme {document['scheme']!r}, "
+            f"journal seq {document['journal_seq']}, "
+            f"{meta.get('updates_processed', 0)} updates processed, "
+            f"{snapshots[-1].stat().st_size} bytes"
+        )
+    if store.journal_path.exists():
+        journal = UpdateJournal(store.journal_path)
+        try:
+            after = document["journal_seq"] if document else 0
+            total = tail = 0
+            for record in journal.records():
+                total += 1
+                if record.seq > after:
+                    tail += 1
+            print(
+                f"journal: {total} record(s), last seq {journal.last_seq}, "
+                f"{tail} past the latest snapshot"
+            )
+        finally:
+            journal.close()
+    else:
+        print("journal: none")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -240,6 +335,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args.out, args.scale, args.seed, args.only)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")

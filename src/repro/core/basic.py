@@ -17,14 +17,18 @@ Per location update (§III-C):
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.config import CTUPConfig
 from repro.core.monitor import CTUPMonitor
 from repro.core.tables import table1_delta
 from repro.core.topk import MaintainedPlaces
 from repro.geometry import Point
-from repro.grid.cellstate import CellState
+from repro.grid.cellstate import (
+    CellState,
+    export_cell_states,
+    restore_cell_states,
+)
 from repro.grid.partition import CellId
 from repro.model import LocationUpdate, Place, SafetyRecord, Unit
 
@@ -33,6 +37,8 @@ class BasicCTUP(CTUPMonitor):
     """The basic grid-bound scheme of Section III."""
 
     name = "basic"
+
+    STATE_FIELDS = ("cell_states", "maintained")
 
     def __init__(
         self,
@@ -175,6 +181,23 @@ class BasicCTUP(CTUPMonitor):
 
     def sk(self) -> float:
         return self.maintained.sk(self.config.k)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _export_scheme_state(self) -> dict[str, Any]:
+        return {
+            "cell_states": export_cell_states(self.cell_states, self.grid),
+            "maintained": self.maintained.export_rows(),
+        }
+
+    def _restore_scheme_state(self, fields: Mapping[str, Any]) -> None:
+        self.cell_states = restore_cell_states(
+            fields["cell_states"], self.grid
+        )
+        self.maintained = MaintainedPlaces()
+        self.maintained.restore_rows(
+            fields["maintained"], self.store, self.grid
+        )
 
     # -- diagnostics --------------------------------------------------------
 

@@ -18,7 +18,12 @@ the cell is accessed, re-arming one decrease per unit for the new epoch.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
 from repro.grid.partition import CellId
+
+if TYPE_CHECKING:
+    from repro.grid.partition import GridPartition
 
 
 class DecHash:
@@ -82,3 +87,26 @@ class DecHash:
     def clear(self) -> None:
         self._by_cell.clear()
         self._size = 0
+
+    def export_pairs(self, grid: "GridPartition") -> list[list[Any]]:
+        """JSON-codable ``[linear cell, [unit ids]]`` rows, fully sorted.
+
+        The pair set is semantically unordered (membership tests only),
+        so the export canonicalizes: cells ascending, unit ids ascending.
+        """
+        return [
+            [grid.linear(cell), sorted(self._by_cell[cell])]
+            for cell in sorted(self._by_cell, key=grid.linear)
+        ]
+
+    @classmethod
+    def from_pairs(
+        cls, rows: Iterable[Sequence[Any]], grid: "GridPartition"
+    ) -> "DecHash":
+        """Rebuild a pair set from :meth:`export_pairs` rows."""
+        out = cls()
+        for linear, unit_ids in rows:
+            cell = grid.from_linear(int(linear))
+            for unit_id in unit_ids:
+                out.insert(int(unit_id), cell)
+        return out

@@ -14,7 +14,7 @@ alone.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -29,6 +29,9 @@ class IncrementalNaiveCTUP(CTUPMonitor):
     """Full in-memory safety table with incremental maintenance."""
 
     name = "incremental"
+
+    STATE_FIELDS = ("_ids", "_safety", "_init_cells")
+    TRANSIENT_FIELDS = ("_xs", "_ys", "_place_by_id")
 
     def __init__(
         self,
@@ -111,3 +114,43 @@ class IncrementalNaiveCTUP(CTUPMonitor):
         if len(self._safety) == 0:
             return math.inf
         return kth_smallest(self._safety, self.config.k)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _export_scheme_state(self) -> dict[str, Any]:
+        return {
+            "ids": [int(i) for i in self._ids],
+            "safety": [float(s) for s in self._safety],
+            "init_cells": self._init_cells,
+        }
+
+    def _restore_scheme_state(self, fields: Mapping[str, Any]) -> None:
+        # the coordinate columns and the place lookup are derived from
+        # the (static) place set; rebuild them by re-reading the store
+        # and verify the row order matches the export.
+        ids, xs, ys = [], [], []
+        self._place_by_id = {}
+        for cell in self.store.occupied_cells():
+            places, arrays = self.store.read_cell_with_arrays(cell)
+            ids.append(arrays.ids)
+            xs.append(arrays.xs)
+            ys.append(arrays.ys)
+            for place in places:
+                self._place_by_id[place.place_id] = place
+        if ids:
+            self._ids = np.concatenate(ids)
+            self._xs = np.concatenate(xs)
+            self._ys = np.concatenate(ys)
+        else:
+            self._ids = np.empty(0, dtype=np.int64)
+            self._xs = np.empty(0, dtype=np.float64)
+            self._ys = np.empty(0, dtype=np.float64)
+        if self._ids.tolist() != [int(i) for i in fields["ids"]]:
+            raise ValueError(
+                "restored place rows do not match the stored place set"
+            )
+        safety = np.asarray(fields["safety"], dtype=np.float64)
+        if len(safety) != len(self._ids):
+            raise ValueError("safety table length mismatch")
+        self._safety = safety
+        self._init_cells = int(fields["init_cells"])

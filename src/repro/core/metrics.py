@@ -77,6 +77,16 @@ class MonitorCounters:
     def as_dict(self) -> dict[str, float]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def restore(self, values: "MonitorCounters") -> None:
+        """Overwrite every counter with ``values`` (checkpoint resume)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(values, f.name))
+
+    @classmethod
+    def from_dict(cls, values: dict[str, float]) -> "MonitorCounters":
+        """Inverse of :meth:`as_dict` (checkpoint decoding)."""
+        return cls(**{f.name: values[f.name] for f in fields(cls)})
+
 
 @dataclass(slots=True)
 class UpdateReport:

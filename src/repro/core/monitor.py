@@ -33,14 +33,35 @@ from __future__ import annotations
 import abc
 import time
 import warnings
-from typing import Iterable, Sequence
+from typing import Any, ClassVar, Iterable, Mapping, Sequence
 
 from repro.core.config import CTUPConfig
 from repro.core.metrics import InitReport, MonitorCounters, UpdateReport
-from repro.core.units import UnitIndex
+from repro.core.units import UnitIndex, UnitKernelStats
 from repro.grid.partition import GridPartition
 from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+from repro.storage.iostats import IoStats
 from repro.storage.placestore import PlaceStore
+
+#: version of the per-monitor ``export_state()`` payload (bumped when a
+#: scheme's encoded state shape changes incompatibly).
+STATE_VERSION = 1
+
+
+def collect_declared_fields(cls: type, attribute: str) -> tuple[str, ...]:
+    """Union of a class-body tuple declaration over the whole MRO.
+
+    Walks ``cls.__mro__`` base-first so a scheme's declaration extends —
+    never replaces — its ancestors'. Shared by :class:`CTUPMonitor` and
+    the standalone schemes (``repro.ext.extent``) that implement the
+    ``Snapshottable`` protocol structurally.
+    """
+    out: list[str] = []
+    for klass in reversed(cls.__mro__):
+        for name in klass.__dict__.get(attribute, ()):
+            if name not in out:
+                out.append(name)
+    return tuple(out)
 
 
 class CTUPMonitor(abc.ABC):
@@ -48,6 +69,15 @@ class CTUPMonitor(abc.ABC):
 
     #: short scheme name used in benchmark tables.
     name: str = "abstract"
+
+    #: fields whose content survives a checkpoint round-trip. Subclasses
+    #: extend (never replace) the declaration; ``state_fields()`` collects
+    #: the union over the MRO. Reprolint rule RPL008 enforces that every
+    #: field a scheme mutates outside ``__init__`` appears here or in
+    #: :attr:`TRANSIENT_FIELDS`.
+    STATE_FIELDS: ClassVar[tuple[str, ...]] = ("units", "counters")
+    #: fields rebuilt (not serialized) on restore.
+    TRANSIENT_FIELDS: ClassVar[tuple[str, ...]] = ("_initialized",)
 
     def __init__(
         self,
@@ -198,6 +228,102 @@ class CTUPMonitor(abc.ABC):
             cells_accessed=accessed,
             maintain_seconds=self.counters.time_maintain_s - maintain_before,
             access_seconds=self.counters.time_access_s - access_before,
+        )
+
+    # -- checkpointable state (the Snapshottable protocol) ---------------
+
+    def state_fields(self) -> tuple[str, ...]:
+        """All checkpointed fields declared along the scheme's MRO."""
+        return collect_declared_fields(type(self), "STATE_FIELDS")
+
+    def transient_fields(self) -> tuple[str, ...]:
+        """All restore-rebuilt fields declared along the scheme's MRO."""
+        return collect_declared_fields(type(self), "TRANSIENT_FIELDS")
+
+    def export_state(self) -> dict[str, Any]:
+        """The monitor's full mutable state as a JSON-codable document.
+
+        Captures everything a bit-identical resume needs: tracked unit
+        positions, the scheme's own structures, the storage-level cache
+        picture and every work counter. The export never performs an
+        *accounted* storage access, so checkpointing a live monitor does
+        not perturb the run being checkpointed.
+        """
+        self._require_initialized()
+        io = self.store.io_stats
+        stats = self.units.stats
+        return {
+            "state_version": STATE_VERSION,
+            "scheme": self.name,
+            "units": self.units.export_positions(),
+            "unit_stats": {
+                "queries": stats.queries,
+                "candidate_units": stats.candidate_units,
+                "reachable_units": stats.reachable_units,
+            },
+            "io": {
+                "page_reads": io.page_reads,
+                "buffered_reads": io.buffered_reads,
+                "page_writes": io.page_writes,
+                "array_hits": io.array_hits,
+            },
+            "store_cache": self.store.export_cache_state(),
+            "counters": self.counters.as_dict(),
+            "scheme_state": self._export_scheme_state(),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Adopt a state document on a freshly constructed monitor.
+
+        The monitor must have been built with the same config, place set
+        and fleet, and must not be initialized. Restore order matters:
+        structural state first (whose rebuilding may read the store),
+        then :meth:`restore_counter_state`, which overwrites every
+        counter and cache last so the rebuild's accounting noise is
+        erased and the resumed monitor is bit-identical to the
+        snapshotted one.
+        """
+        self._require_not_initialized()
+        version = state.get("state_version")
+        if version != STATE_VERSION:
+            raise ValueError(
+                f"unsupported monitor state version {version!r} "
+                f"(this build reads version {STATE_VERSION})"
+            )
+        scheme = state.get("scheme")
+        if scheme != self.name:
+            raise ValueError(
+                f"state document is for scheme {scheme!r}, "
+                f"not {self.name!r}"
+            )
+        self.units.restore_positions(state["units"])
+        self._restore_scheme_state(state["scheme_state"])
+        self.restore_counter_state(state)
+        self._initialized = True
+
+    def restore_counter_state(self, state: Mapping[str, Any]) -> None:
+        """Overwrite caches and counters from a state document.
+
+        Also called *again* after a resumed session primes its change
+        tracker: the priming read may touch storage (schemes fetch place
+        records lazily), and re-pinning the counters afterwards keeps
+        the resumed run's accounting identical to an uninterrupted one.
+        """
+        self.store.restore_cache_state(state["store_cache"])
+        self.store.io_stats.restore(IoStats(**state["io"]))
+        self.units.stats.restore(UnitKernelStats(**state["unit_stats"]))
+        self.counters.restore(MonitorCounters.from_dict(state["counters"]))
+
+    def _export_scheme_state(self) -> dict[str, Any]:
+        """Scheme hook: the concrete scheme's own structures, JSON-codable."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not export scheme state"
+        )
+
+    def _restore_scheme_state(self, fields: Mapping[str, Any]) -> None:
+        """Scheme hook: inverse of :meth:`_export_scheme_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not restore scheme state"
         )
 
     # -- shared helpers --------------------------------------------------

@@ -15,7 +15,7 @@ whole recomputation is the access phase — so burst processing (defer
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -31,6 +31,9 @@ class NaiveCTUP(CTUPMonitor):
     """Full recomputation per update."""
 
     name = "naive"
+
+    STATE_FIELDS = ("_ids", "_safety")
+    TRANSIENT_FIELDS = ("_plan",)
 
     def __init__(
         self,
@@ -113,3 +116,36 @@ class NaiveCTUP(CTUPMonitor):
         if len(self._safety) == 0:
             return math.inf
         return kth_smallest(self._safety, self.config.k)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _export_scheme_state(self) -> dict[str, Any]:
+        return {
+            "ids": [int(i) for i in self._ids],
+            "safety": [float(s) for s in self._safety],
+        }
+
+    def _restore_scheme_state(self, fields: Mapping[str, Any]) -> None:
+        # the recomputation plan is derived from the (static) store
+        # layout; rebuild it and verify the row order matches the export.
+        ids: list[np.ndarray] = []
+        row = 0
+        self._plan = []
+        for cell in self.store.occupied_cells():
+            arrays = self.store.cell_arrays(cell)
+            ids.append(arrays.ids)
+            self._plan.append(
+                (cell, self.grid.cell_rect(cell), row, row + len(arrays))
+            )
+            row += len(arrays)
+        self._ids = (
+            np.concatenate(ids) if ids else np.empty(0, dtype=np.int64)
+        )
+        if self._ids.tolist() != [int(i) for i in fields["ids"]]:
+            raise ValueError(
+                "restored place rows do not match the stored place set"
+            )
+        safety = np.asarray(fields["safety"], dtype=np.float64)
+        if len(safety) != len(self._ids):
+            raise ValueError("safety table length mismatch")
+        self._safety = safety

@@ -20,7 +20,7 @@ then follow Table I), which is exactly the ablation of Fig. 8.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -35,7 +35,11 @@ from repro.core.tables import (
 )
 from repro.core.topk import MaintainedPlaces, kth_smallest
 from repro.geometry import Point
-from repro.grid.cellstate import CellState
+from repro.grid.cellstate import (
+    CellState,
+    export_cell_states,
+    restore_cell_states,
+)
 from repro.grid.partition import CellId
 from repro.model import LocationUpdate, Place, SafetyRecord, Unit
 
@@ -44,6 +48,8 @@ class OptCTUP(CTUPMonitor):
     """The optimized scheme of Section IV."""
 
     name = "opt"
+
+    STATE_FIELDS = ("cell_states", "maintained", "dechash", "_delta")
 
     def __init__(
         self,
@@ -268,3 +274,27 @@ class OptCTUP(CTUPMonitor):
 
     def sk(self) -> float:
         return self.maintained.sk(self.config.k)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _export_scheme_state(self) -> dict[str, Any]:
+        return {
+            "cell_states": export_cell_states(self.cell_states, self.grid),
+            "maintained": self.maintained.export_rows(),
+            "dechash": self.dechash.export_pairs(self.grid),
+            "delta": self._delta,
+        }
+
+    def _restore_scheme_state(self, fields: Mapping[str, Any]) -> None:
+        self.cell_states = restore_cell_states(
+            fields["cell_states"], self.grid
+        )
+        self.maintained = MaintainedPlaces()
+        self.maintained.restore_rows(
+            fields["maintained"], self.store, self.grid
+        )
+        self.dechash = DecHash.from_pairs(fields["dechash"], self.grid)
+        delta = float(fields["delta"])
+        if delta < 0:
+            raise ValueError("delta cannot be negative")
+        self._delta = delta

@@ -15,12 +15,16 @@ stay dense.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.geometry import Point
 from repro.model import Place, SafetyRecord
+
+if TYPE_CHECKING:
+    from repro.grid.partition import GridPartition
+    from repro.storage.placestore import PlaceStore
 
 _INITIAL_CAPACITY = 64
 
@@ -230,6 +234,18 @@ class MaintainedPlaces:
     def set_safety(self, place_id: int, safety: float) -> None:
         self._safety[self._row_of[place_id]] = safety
 
+    def export_rows(self) -> list[list[float]]:
+        """JSON-codable ``[place_id, safety, cell]`` rows in table order.
+
+        Row order matters: re-inserting the rows front to back rebuilds
+        the table with identical row placement, so a resumed monitor's
+        swap-removals evolve exactly like the snapshotted one's.
+        """
+        return [
+            [int(self._ids[row]), float(self._safety[row]), int(self._cell[row])]
+            for row in range(self._n)
+        ]
+
     def safeties_snapshot(self) -> dict[int, float]:
         """id -> safety for every maintained place (testing/diagnostics)."""
         return {
@@ -289,6 +305,30 @@ class MaintainedPlaces:
         now = dxn * dxn + dyn * dyn <= r2
         self._safety[:n] += now.astype(np.float64) - was.astype(np.float64)
         return n
+
+    def restore_rows(
+        self,
+        rows: Iterable[Sequence[Any]],
+        store: "PlaceStore",
+        grid: "GridPartition",
+    ) -> None:
+        """Rebuild the table from :meth:`export_rows` output.
+
+        Each referenced cell is read once from the store to recover the
+        :class:`Place` records, then the rows are re-inserted front to
+        back — row placement is identical to the snapshotted table, so a
+        resumed monitor's swap-removals evolve exactly like the
+        original's. Must be called on an empty table.
+        """
+        if self._n:
+            raise ValueError("restore_rows requires an empty table")
+        materialized = [list(row) for row in rows]
+        place_of: dict[int, Place] = {}
+        for linear in sorted({int(row[2]) for row in materialized}):
+            for place in store.read_cell(grid.from_linear(linear)):
+                place_of[place.place_id] = place
+        for pid, safety, cell in materialized:
+            self.insert(place_of[int(pid)], float(safety), int(cell))
 
     def apply_unit_move_weighted(
         self,

@@ -73,6 +73,12 @@ class UnitKernelStats:
             }
         )
 
+    def restore(self, values: "UnitKernelStats") -> None:
+        """Overwrite every counter with ``values`` (checkpoint resume)."""
+        self.queries = values.queries
+        self.candidate_units = values.candidate_units
+        self.reachable_units = values.reachable_units
+
 
 class UnitIndex:
     """Positions of all units, tracked per monitor.
@@ -329,3 +335,35 @@ class UnitIndex:
     def snapshot_positions(self) -> np.ndarray:
         """An ``(n, 2)`` copy of all unit positions (unit-id order)."""
         return np.stack([self._xs, self._ys], axis=1).copy()
+
+    def export_positions(self) -> list[list[float]]:
+        """JSON-codable ``[unit_id, x, y]`` rows in unit-id order."""
+        return [
+            [uid, float(self._xs[self._row_of[uid]]), float(self._ys[self._row_of[uid]])]
+            for uid in self._order
+        ]
+
+    def restore_positions(self, rows: Iterable[Iterable[float]]) -> None:
+        """Overwrite every tracked position from :meth:`export_positions` rows.
+
+        The fleet must match (same unit ids); any attached grid index is
+        rebuilt from the restored coordinate arrays so its buckets agree
+        with the overwritten positions.
+        """
+        seen: set[int] = set()
+        for raw in rows:
+            uid_f, x, y = raw
+            uid = int(uid_f)
+            unit = self._units.get(uid)
+            if unit is None:
+                raise KeyError(f"unknown unit {uid} in restored positions")
+            seen.add(uid)
+            unit.location = Point(float(x), float(y))
+            row = self._row_of[uid]
+            self._xs[row] = float(x)
+            self._ys[row] = float(y)
+        if seen != set(self._order):
+            missing = sorted(set(self._order) - seen)
+            raise ValueError(f"restored positions miss units {missing[:5]}")
+        if self._grid_index is not None:
+            self.attach_grid(self._grid_index.grid)

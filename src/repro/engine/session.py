@@ -18,6 +18,7 @@ objects rather than by editing the loop.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.core.audit import audit_monitor
@@ -27,6 +28,9 @@ from repro.core.metrics import InitReport, UpdateReport
 from repro.core.monitor import CTUPMonitor
 from repro.engine.hooks import HookList, MonitorHooks
 from repro.model import LocationUpdate
+from repro.state.journal import JournalRecord, UpdateJournal
+from repro.state.recovery import CheckpointPolicy, CheckpointStore
+from repro.state.snapshot import snapshot_monitor
 
 
 class MonitorSession:
@@ -40,6 +44,7 @@ class MonitorSession:
         audit_every: int = 0,
         hooks: Sequence[MonitorHooks] = (),
         track_changes: bool = True,
+        checkpoint: CheckpointPolicy | None = None,
     ) -> None:
         """``batch_size`` > 0 buffers updates and flushes them through
         the phase API as exact bursts; 0 processes one by one.
@@ -48,7 +53,15 @@ class MonitorSession:
         off by default). ``track_changes=False`` skips the per-update
         result diffing entirely — for measurement loops (the bench
         harness) where reading ``top_k()`` after every update would
-        perturb the I/O counters being measured."""
+        perturb the I/O counters being measured.
+
+        ``checkpoint`` attaches a checkpoint directory: every ingested
+        update is journaled (write-ahead in single mode, on buffering in
+        batch mode) and snapshots are written per the policy. The
+        session *appends* to whatever journal the directory holds —
+        wiping stale state from an earlier, unrelated run is the
+        caller's job (``repro.api.open_session`` does it on any
+        non-resuming start)."""
         if batch_size < 0:
             raise ValueError("batch_size cannot be negative")
         if audit_every < 0:
@@ -65,6 +78,20 @@ class MonitorSession:
         self._batcher = BatchProcessor(monitor) if batch_size else None
         self._pending: list[LocationUpdate] = []
         self._started = False
+        self.checkpoint_policy = checkpoint
+        self._checkpoint_store = (
+            CheckpointStore(checkpoint.directory) if checkpoint else None
+        )
+        self._journal = (
+            UpdateJournal(self._checkpoint_store.journal_path)
+            if self._checkpoint_store
+            else None
+        )
+        #: journal seq of the last *applied* record — what a snapshot
+        #: taken now refers to, and where replay resumes after it.
+        self._applied_seq = 0
+        self._flushes_done = 0
+        self._replaying = False
 
     # -- wiring -----------------------------------------------------------
 
@@ -83,6 +110,21 @@ class MonitorSession:
         ``batches_processed`` / ``updates_processed`` counters are the
         batching diagnostics."""
         return self._batcher
+
+    @property
+    def journal(self) -> UpdateJournal | None:
+        """The attached update journal (``None`` without a policy)."""
+        return self._journal
+
+    @property
+    def applied_seq(self) -> int:
+        """Journal seq of the last applied record (0 without a journal)."""
+        return self._applied_seq
+
+    @property
+    def pending_updates(self) -> int:
+        """Updates buffered but not yet flushed (0 in single mode)."""
+        return len(self._pending)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -116,12 +158,21 @@ class MonitorSession:
             self.start()
         self.hooks.on_update_start(update)
         if self._batcher is not None:
+            if self._journal is not None and not self._replaying:
+                self._journal.append_update(update, batched=True)
             self._pending.append(update)
             if len(self._pending) >= self.batch_size:
                 return self.flush()
             return None
+        # write-ahead: journal first, mark applied only once processed.
+        seq = 0
+        if self._journal is not None and not self._replaying:
+            seq = self._journal.append_update(update, batched=False)
         report = self.monitor.process(update)
         self._complete([update], report, batched=False)
+        if seq:
+            self._applied_seq = seq
+        self._flush_boundary()
         return report
 
     def flush(self) -> UpdateReport | None:
@@ -131,6 +182,11 @@ class MonitorSession:
         batch, self._pending = self._pending, []
         report = self._batcher.process_batch(batch)
         self._complete(batch, report, batched=True)
+        # the marker is written *after* the burst applied: a snapshot at
+        # this seq never refers into the middle of a batch.
+        if self._journal is not None and not self._replaying:
+            self._applied_seq = self._journal.append_flush()
+        self._flush_boundary()
         return report
 
     def run(self, updates: Iterable[LocationUpdate]) -> int:
@@ -141,6 +197,90 @@ class MonitorSession:
             count += 1
         self.flush()
         return count
+
+    # -- checkpointing & recovery -----------------------------------------
+
+    def checkpoint(self) -> Path:
+        """Write a snapshot of the current state; returns its path.
+
+        Flushes any buffered burst first — snapshots are only taken at
+        batch boundaries (the sharded consistent-cut rule, and the only
+        points the journal's flush markers line up with).
+        """
+        if self._checkpoint_store is None:
+            raise RuntimeError("session has no checkpoint policy")
+        self.flush()
+        document = snapshot_monitor(
+            self.monitor,
+            journal_seq=self._applied_seq,
+            session={"updates_processed": self.updates_processed},
+        )
+        return self._checkpoint_store.write_snapshot(document)
+
+    def adopt_resume_state(
+        self, *, updates_processed: int, applied_seq: int
+    ) -> None:
+        """Install snapshot-carried session metadata (recovery step 4)."""
+        self.updates_processed = updates_processed
+        self._applied_seq = applied_seq
+
+    def replay(self, records: Iterable[JournalRecord]) -> int:
+        """Re-feed journaled records through the ordinary pipeline.
+
+        Journaling and checkpointing are suppressed (the records are
+        already durable); change tracking and audits still run, so the
+        replayed prefix performs exactly the reads the uninterrupted run
+        performed. Returns the number of updates applied. The session
+        must use the same ``batch_size`` as the run that wrote the
+        journal — buffered records then auto-flush at the same
+        boundaries, and each flush marker's explicit ``flush()`` is a
+        no-op on the already-drained buffer.
+        """
+        if not self._started:
+            raise RuntimeError("start() the session before replaying")
+        self._replaying = True
+        applied = 0
+        try:
+            for record in records:
+                if record.is_flush:
+                    self.flush()
+                else:
+                    assert record.update is not None
+                    self.feed(record.update)
+                    applied += 1
+                self._applied_seq = record.seq
+        finally:
+            self._replaying = False
+        return applied
+
+    def close(self) -> None:
+        """Flush, write the on-close snapshot if the policy asks for
+        one, and release the journal handle (idempotent)."""
+        self.flush()
+        if (
+            self.checkpoint_policy is not None
+            and self.checkpoint_policy.on_close
+            and self._started
+            and self.monitor.initialized
+        ):
+            self.checkpoint()
+        if self._journal is not None:
+            self._journal.close()
+
+    def __enter__(self) -> "MonitorSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _flush_boundary(self) -> None:
+        """Periodic-checkpoint bookkeeping, shared by both ingest modes."""
+        if self._replaying or self.checkpoint_policy is None:
+            return
+        self._flushes_done += 1
+        every = self.checkpoint_policy.every_batches
+        if every and self._flushes_done % every == 0:
+            self.checkpoint()
 
     # -- internals --------------------------------------------------------
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -34,7 +34,11 @@ from repro.core.monitor import CTUPMonitor
 from repro.core.topk import MaintainedPlaces, kth_smallest
 from repro.geometry import Circle, Point
 from repro.geometry.distance import point_rect_distance
-from repro.grid.cellstate import CellState
+from repro.grid.cellstate import (
+    CellState,
+    export_cell_states,
+    restore_cell_states,
+)
 from repro.grid.partition import CellId
 from repro.model import LocationUpdate, Place, SafetyRecord, Unit
 
@@ -91,6 +95,8 @@ class DecayCTUP(CTUPMonitor):
     """Top-k unsafe places under a decaying protection function."""
 
     name = "decay"
+
+    STATE_FIELDS = ("cell_states", "maintained", "decay")
 
     def __init__(
         self,
@@ -242,3 +248,29 @@ class DecayCTUP(CTUPMonitor):
 
     def sk(self) -> float:
         return self.maintained.sk(self.config.k)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _export_scheme_state(self) -> dict[str, Any]:
+        # the decay model holds callables and cannot itself be
+        # serialized; its name is recorded so a restore into a monitor
+        # constructed with a *different* profile is rejected.
+        return {
+            "decay": self.decay.name,
+            "cell_states": export_cell_states(self.cell_states, self.grid),
+            "maintained": self.maintained.export_rows(),
+        }
+
+    def _restore_scheme_state(self, fields: Mapping[str, Any]) -> None:
+        if fields["decay"] != self.decay.name:
+            raise ValueError(
+                "snapshot decay profile does not match the constructed "
+                "monitor"
+            )
+        self.cell_states = restore_cell_states(
+            fields["cell_states"], self.grid
+        )
+        self.maintained = MaintainedPlaces()
+        self.maintained.restore_rows(
+            fields["maintained"], self.store, self.grid
+        )

@@ -27,17 +27,22 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.config import CTUPConfig
 from repro.core.metrics import InitReport, MonitorCounters, UpdateReport
+from repro.core.monitor import STATE_VERSION, collect_declared_fields
 from repro.core.tables import table1_delta
-from repro.core.units import UnitIndex
+from repro.core.units import UnitIndex, UnitKernelStats
 from repro.geometry import Circle, Point, Rect
 from repro.geometry.relations import classify_circle_rect
-from repro.grid.cellstate import CellState
+from repro.grid.cellstate import (
+    CellState,
+    export_cell_states,
+    restore_cell_states,
+)
 from repro.grid.partition import CellId, GridPartition
 from repro.model import LocationUpdate, Unit
 
@@ -125,6 +130,15 @@ class ExtentCTUP:
     """Top-k unsafe monitoring for places with rectangular extent."""
 
     name = "extent"
+
+    STATE_FIELDS = (
+        "cell_states",
+        "_maintained",
+        "_maintained_by_cell",
+        "units",
+        "counters",
+    )
+    TRANSIENT_FIELDS = ("_initialized",)
 
     def __init__(
         self,
@@ -356,6 +370,90 @@ class ExtentCTUP:
             return math.inf
         safeties = sorted(safety for _, safety in self._maintained.values())
         return safeties[self.config.k - 1]
+
+    # -- checkpointable state (the Snapshottable protocol) -----------------
+    #
+    # ExtentCTUP is a standalone scheme (not a CTUPMonitor subclass) and
+    # implements the protocol structurally. It has no paged store, so the
+    # storage-cache portion of the base document is simply absent.
+
+    def state_fields(self) -> tuple[str, ...]:
+        """All checkpointed fields declared along the scheme's MRO."""
+        return collect_declared_fields(type(self), "STATE_FIELDS")
+
+    def transient_fields(self) -> tuple[str, ...]:
+        """All restore-rebuilt fields declared along the scheme's MRO."""
+        return collect_declared_fields(type(self), "TRANSIENT_FIELDS")
+
+    def export_state(self) -> dict[str, Any]:
+        """The monitor's full mutable state as a JSON-codable document."""
+        if not self._initialized:
+            raise ValueError("cannot export the state of an uninitialized monitor")
+        stats = self.units.stats
+        return {
+            "state_version": STATE_VERSION,
+            "scheme": self.name,
+            "units": self.units.export_positions(),
+            "unit_stats": {
+                "queries": stats.queries,
+                "candidate_units": stats.candidate_units,
+                "reachable_units": stats.reachable_units,
+            },
+            "counters": self.counters.as_dict(),
+            "scheme_state": {
+                "semantics": self.semantics,
+                "cell_states": export_cell_states(self.cell_states, self.grid),
+                "maintained": [
+                    [pid, safety]
+                    for pid, (_, safety) in self._maintained.items()
+                ],
+            },
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Adopt a state document on a freshly constructed monitor."""
+        if self._initialized:
+            raise ValueError("cannot restore into an initialized monitor")
+        version = state.get("state_version")
+        if version != STATE_VERSION:
+            raise ValueError(
+                f"unsupported monitor state version {version!r} "
+                f"(this build reads version {STATE_VERSION})"
+            )
+        scheme = state.get("scheme")
+        if scheme != self.name:
+            raise ValueError(
+                f"state was exported by scheme {scheme!r}, not {self.name!r}"
+            )
+        fields = state["scheme_state"]
+        if fields["semantics"] != self.semantics:
+            raise ValueError(
+                "snapshot protection semantics do not match the "
+                "constructed monitor"
+            )
+        self.units.restore_positions(state["units"])
+        self.cell_states = restore_cell_states(
+            fields["cell_states"], self.grid
+        )
+        place_of = {
+            place.place_id: place
+            for data in self._cells.values()
+            for place in data.places
+        }
+        self._maintained = {}
+        self._maintained_by_cell = {}
+        for pid, safety in fields["maintained"]:
+            place = place_of[int(pid)]
+            self._maintained[int(pid)] = (place, float(safety))
+            cell = self.grid.cell_of(place.anchor())
+            self._maintained_by_cell.setdefault(cell, set()).add(int(pid))
+        self.restore_counter_state(state)
+        self._initialized = True
+
+    def restore_counter_state(self, state: Mapping[str, Any]) -> None:
+        """Overwrite counters from a state document (see the base docs)."""
+        self.units.stats.restore(UnitKernelStats(**state["unit_stats"]))
+        self.counters.restore(MonitorCounters.from_dict(state["counters"]))
 
 
 def _disk_meets_rect(center: Point, radius: float, rect: Rect) -> bool:

@@ -11,7 +11,7 @@ only ever touched by genuine bound decay.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -24,6 +24,8 @@ class ThresholdCTUP(OptCTUP):
     """Continuously monitor every place with ``safety < tau``."""
 
     name = "threshold"
+
+    STATE_FIELDS = ("_tau",)
 
     def __init__(
         self,
@@ -64,3 +66,17 @@ class ThresholdCTUP(OptCTUP):
         are currently below the threshold.
         """
         return self.unsafe_places()
+
+    # -- checkpointing ----------------------------------------------------
+
+    def _export_scheme_state(self) -> dict[str, Any]:
+        state = super()._export_scheme_state()
+        state["tau"] = self._tau
+        return state
+
+    def _restore_scheme_state(self, fields: Mapping[str, Any]) -> None:
+        if float(fields["tau"]) != self._tau:
+            raise ValueError(
+                "snapshot threshold does not match the constructed monitor"
+            )
+        super()._restore_scheme_state(fields)

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.grid.partition import CellId, GridPartition
 
 
 @dataclass(slots=True)
@@ -40,3 +43,57 @@ class CellState:
     def increase(self, amount: float = 1.0) -> None:
         """Raise the bound by ``amount`` (a unit now protects the whole cell)."""
         self.lower_bound += amount
+
+
+# -- checkpoint codec ------------------------------------------------------
+#
+# Cell-state tables are dicts keyed by CellId whose *iteration order*
+# matters: the access loops break bound ties by it. The codec therefore
+# encodes rows in iteration order and restores them in the same order.
+
+def encode_bound(value: float) -> float | str:
+    """JSON-safe lower bound (``inf`` has no JSON literal)."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def decode_bound(value: float | str) -> float:
+    """Inverse of :func:`encode_bound`."""
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    return float(value)
+
+
+def export_cell_states(
+    states: Mapping[CellId, CellState], grid: GridPartition
+) -> list[list[float | str | bool | int]]:
+    """JSON-codable rows ``[linear cell, bound, illuminated, places,
+    accesses]`` in table-iteration order."""
+    return [
+        [
+            grid.linear(cell),
+            encode_bound(state.lower_bound),
+            state.illuminated,
+            state.place_count,
+            state.access_count,
+        ]
+        for cell, state in states.items()
+    ]
+
+
+def restore_cell_states(
+    rows: Iterable[Sequence[Any]], grid: GridPartition
+) -> dict[CellId, CellState]:
+    """Rebuild a cell-state table from :func:`export_cell_states` rows."""
+    out: dict[CellId, CellState] = {}
+    for linear, bound, illuminated, place_count, access_count in rows:
+        out[grid.from_linear(int(linear))] = CellState(
+            lower_bound=decode_bound(bound),
+            illuminated=bool(illuminated),
+            place_count=int(place_count),
+            access_count=int(access_count),
+        )
+    return out

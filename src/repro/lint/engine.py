@@ -118,6 +118,11 @@ class ClassInfo:
     methods: dict[str, int]
     #: method name -> number of positional parameters (incl. self).
     method_arity: dict[str, int]
+    #: ``STATE_FIELDS`` tuple literal from the class body (``None`` when
+    #: the class doesn't declare one).
+    state_fields: tuple[str, ...] | None = None
+    #: ``TRANSIENT_FIELDS`` tuple literal, same convention.
+    transient_fields: tuple[str, ...] | None = None
 
 
 class ProjectIndex:
@@ -155,6 +160,7 @@ class ProjectIndex:
     def _index_class(self, source: SourceFile, node: ast.ClassDef) -> None:
         methods: dict[str, int] = {}
         arity: dict[str, int] = {}
+        field_decls: dict[str, tuple[str, ...]] = {}
         for item in node.body:
             if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 methods.setdefault(item.name, item.lineno)
@@ -162,6 +168,10 @@ class ProjectIndex:
                     item.name,
                     len(item.args.posonlyargs) + len(item.args.args),
                 )
+            else:
+                decl = _field_tuple_literal(item)
+                if decl is not None:
+                    field_decls.setdefault(*decl)
         info = ClassInfo(
             name=node.name,
             module=source.module,
@@ -174,6 +184,8 @@ class ProjectIndex:
             ),
             methods=methods,
             method_arity=arity,
+            state_fields=field_decls.get("STATE_FIELDS"),
+            transient_fields=field_decls.get("TRANSIENT_FIELDS"),
         )
         existing = self.classes.get(node.name)
         # package classes win over same-named fixture/test classes.
@@ -199,6 +211,24 @@ class ProjectIndex:
 
     # -- hierarchy queries ------------------------------------------------
 
+    def declares_state_fields(self, class_name: str) -> bool:
+        """Whether the class (or any known ancestor) declares
+        ``STATE_FIELDS`` — i.e. participates in the snapshot protocol."""
+        infos = [self.classes.get(class_name), *self.ancestors(class_name)]
+        return any(i is not None and i.state_fields is not None for i in infos)
+
+    def snapshot_field_union(self, class_name: str) -> frozenset[str]:
+        """``STATE_FIELDS`` ∪ ``TRANSIENT_FIELDS`` over the known MRO —
+        the attributes a Snapshottable class is allowed to mutate after
+        construction (mirrors ``collect_declared_fields``)."""
+        fields: set[str] = set()
+        for info in (self.classes.get(class_name), *self.ancestors(class_name)):
+            if info is None:
+                continue
+            fields.update(info.state_fields or ())
+            fields.update(info.transient_fields or ())
+        return frozenset(fields)
+
     def ancestors(self, class_name: str) -> Iterator[ClassInfo]:
         """Known project ancestors of ``class_name``, nearest first."""
         seen: set[str] = set()
@@ -221,6 +251,35 @@ class ProjectIndex:
         for name, info in self.classes.items():
             if name != "CTUPMonitor" and self.is_descendant_of(name, "CTUPMonitor"):
                 yield info
+
+
+def _field_tuple_literal(
+    node: ast.stmt,
+) -> tuple[str, tuple[str, ...]] | None:
+    """Parse ``STATE_FIELDS = ("a", "b")`` class-body declarations."""
+    if isinstance(node, ast.AnnAssign):
+        targets, value = [node.target], node.value
+    elif isinstance(node, ast.Assign):
+        targets, value = node.targets, node.value
+    else:
+        return None
+    names = {
+        t.id
+        for t in targets
+        if isinstance(t, ast.Name)
+        and t.id in ("STATE_FIELDS", "TRANSIENT_FIELDS")
+    }
+    if len(names) != 1 or not isinstance(value, (ast.Tuple, ast.List)):
+        return None
+    fields = []
+    for element in value.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        fields.append(element.value)
+    return names.pop(), tuple(fields)
 
 
 def _raises_deprecation(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:

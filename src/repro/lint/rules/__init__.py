@@ -8,6 +8,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     deprecation,
     determinism,
     hygiene,
+    state,
     threads,
 )
 from repro.lint import typing_gate  # noqa: F401  (registers RPLT01)

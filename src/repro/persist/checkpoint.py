@@ -1,86 +1,50 @@
-"""Serialize / restore OptCTUP monitoring state.
+"""Serialize / restore OptCTUP monitoring state (compatibility shim).
 
-The checkpoint format is versioned JSON. It deliberately stores only the
-*dynamic* state — unit positions, per-cell bounds, the maintained band's
-(place id, safety, cell) rows, DecHash pairs — and identifies the place
-set by a content fingerprint instead of embedding it: the place set is
-static input, and restoring against a different one must fail loudly
-rather than resume with silently wrong safeties.
+The universal state layer (:mod:`repro.state`) owns snapshotting now;
+this module keeps the original OptCTUP-only entry points working on top
+of it. ``snapshot_optctup`` emits a format-2 document (the state layer's
+envelope), and ``restore_optctup`` reads both format 2 and the legacy
+format-1 checkpoints this module used to write — including their
+``repr``-based place fingerprints, which are verified with the original
+(version-1) hash so old checkpoint files keep loading.
+
+Restored format-1 monitors resume with *approximate* counters (the old
+format never captured them); format-2 restores are bit-identical — see
+:mod:`repro.state.snapshot`.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
-import math
 from typing import Sequence
 
 from repro.core.config import CTUPConfig
 from repro.core.opt import OptCTUP
 from repro.geometry import Point
 from repro.model import Place, Unit
+from repro.state.snapshot import (
+    SnapshotError,
+    fingerprint_places_v1,
+    restore_monitor,
+    snapshot_monitor,
+)
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+_LEGACY_VERSION = 1
 
 
 class CheckpointError(RuntimeError):
     """The checkpoint cannot be applied to the supplied inputs."""
 
 
-def _fingerprint_places(places: Sequence[Place]) -> str:
-    """A content hash of the (static) place set."""
-    digest = hashlib.sha256()
-    for place in sorted(places, key=lambda p: p.place_id):
-        digest.update(
-            f"{place.place_id}:{place.location.x!r}:{place.location.y!r}"
-            f":{place.required_protection}\n".encode()
-        )
-    return digest.hexdigest()
-
-
-def _encode_bound(value: float) -> float | str:
-    return "inf" if math.isinf(value) else value
-
-
-def _decode_bound(value: float | str) -> float:
-    return math.inf if value == "inf" else float(value)
-
-
 def snapshot_optctup(monitor: OptCTUP) -> str:
     """Capture a running OptCTUP's dynamic state as a JSON document."""
     if not monitor.initialized:
         raise CheckpointError("cannot checkpoint an uninitialized monitor")
-    config = monitor.config
-    document = {
-        "version": FORMAT_VERSION,
-        "config": {
-            "k": config.k,
-            "delta": config.delta,
-            "protection_range": config.protection_range,
-            "granularity": config.granularity,
-            "use_doo": config.use_doo,
-        },
-        "places_fingerprint": _fingerprint_places(
-            list(monitor.store.iter_all_places())
-        ),
-        "units": [
-            [u.unit_id, u.location.x, u.location.y] for u in monitor.units
-        ],
-        "cells": [
-            [cell[0], cell[1], _encode_bound(state.lower_bound)]
-            for cell, state in monitor.cell_states.items()
-        ],
-        "maintained": [
-            [pid, safety]
-            for pid, safety in monitor.maintained.safeties_snapshot().items()
-        ],
-        "dechash": [
-            [unit_id, cell[0], cell[1]]
-            for cell in monitor.cell_states
-            for unit_id in monitor.dechash.pairs_of_cell(cell)
-        ],
-    }
-    return json.dumps(document)
+    try:
+        return json.dumps(snapshot_monitor(monitor))
+    except SnapshotError as error:
+        raise CheckpointError(str(error)) from error
 
 
 def restore_optctup(
@@ -96,11 +60,44 @@ def restore_optctup(
         data = json.loads(document)
     except json.JSONDecodeError as error:
         raise CheckpointError(f"not a checkpoint document: {error}") from None
-    if data.get("version") != FORMAT_VERSION:
+    if data.get("version") == _LEGACY_VERSION:
+        return _restore_v1(data, places)
+    if data.get("format") == FORMAT_VERSION:
+        return _restore_v2(data, places)
+    version = data.get("format", data.get("version"))
+    raise CheckpointError(f"unsupported checkpoint version {version!r}")
+
+
+def _restore_v2(data: dict, places: Sequence[Place]) -> OptCTUP:
+    """Delegate a format-2 document to the state layer."""
+    try:
+        config = data["config"]
+        units = [
+            Unit(int(uid), Point(x, y), config["protection_range"])
+            for uid, x, y in data["state"]["units"]
+        ]
+    except (KeyError, TypeError, ValueError) as error:
+        raise CheckpointError(f"malformed checkpoint: {error}") from error
+    try:
+        monitor = restore_monitor(data, places=places, units=units)
+    except SnapshotError as error:
+        raise CheckpointError(str(error)) from error
+    if not isinstance(monitor, OptCTUP):
         raise CheckpointError(
-            f"unsupported checkpoint version {data.get('version')!r}"
+            f"checkpoint holds a {data.get('scheme')!r} monitor, "
+            "not an OptCTUP"
         )
-    if data["places_fingerprint"] != _fingerprint_places(places):
+    return monitor
+
+
+def _restore_v1(data: dict, places: Sequence[Place]) -> OptCTUP:
+    """The original format-1 reader, kept verbatim for old files."""
+    import math
+
+    def decode_bound(value: float | str) -> float:
+        return math.inf if value == "inf" else float(value)
+
+    if data["places_fingerprint"] != fingerprint_places_v1(places):
         raise CheckpointError(
             "checkpoint was taken against a different place set"
         )
@@ -125,7 +122,7 @@ def restore_optctup(
     for i, j, bound in data["cells"]:
         cell = (int(i), int(j))
         monitor.cell_states[cell] = CellState(
-            lower_bound=_decode_bound(bound),
+            lower_bound=decode_bound(bound),
             place_count=monitor.store.cell_place_count(cell),
         )
     for pid, safety in data["maintained"]:

@@ -50,6 +50,13 @@ class MergeStats:
     #: records received across all partial queries.
     records_pulled: int = 0
 
+    def restore(self, values: "MergeStats") -> None:
+        """Overwrite every counter with ``values`` (checkpoint resume)."""
+        self.merges = values.merges
+        self.shards_queried = values.shards_queried
+        self.refills = values.refills
+        self.records_pulled = values.records_pulled
+
 
 class GlobalTopK:
     """Merges per-shard partial top-k lists into the exact global top-k."""

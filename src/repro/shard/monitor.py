@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 if TYPE_CHECKING:
     from concurrent.futures import ThreadPoolExecutor
@@ -45,7 +45,7 @@ from repro.core.metrics import InitReport, MonitorCounters
 from repro.core.monitor import CTUPMonitor
 from repro.core.units import UnitKernelStats
 from repro.model import LocationUpdate, Place, SafetyRecord, Unit
-from repro.shard.merge import GlobalTopK
+from repro.shard.merge import GlobalTopK, MergeStats
 from repro.shard.plan import ShardPlan, plan_for
 from repro.shard.router import ShardRouter
 from repro.storage.iostats import IoStats
@@ -66,6 +66,14 @@ class ShardedMonitor(CTUPMonitor):
     """S shard monitors + router + global merger, one monitor contract."""
 
     name = "sharded"
+
+    STATE_FIELDS = (
+        "full_deliveries",
+        "sync_deliveries",
+        "plan",
+        "scheme_name",
+    )
+    TRANSIENT_FIELDS = ("_merge_cache", "_pool", "_init_reports")
 
     def __init__(
         self,
@@ -223,6 +231,64 @@ class ShardedMonitor(CTUPMonitor):
         for sh in self._shards:
             total = total + sh.monitor.units.stats
         return total
+
+    # -- checkpointing ----------------------------------------------------
+    #
+    # A sharded snapshot is a *consistent cut*: it is only legal at a
+    # batch boundary, when every shard's delivery queue has been drained
+    # — so the per-shard child snapshots and the global routing counters
+    # all describe the same prefix of the update stream.
+
+    def _export_scheme_state(self) -> dict[str, Any]:
+        if any(sh.queue for sh in self._shards):
+            raise ValueError(
+                "cannot snapshot with pending shard deliveries; "
+                "flush the batch first (consistent-cut rule)"
+            )
+        return {
+            "plan": self.plan.assignment_list(),
+            "scheme_name": self.scheme_name,
+            "full_deliveries": self.full_deliveries,
+            "sync_deliveries": self.sync_deliveries,
+            "merge_stats": {
+                "merges": self.merger.stats.merges,
+                "shards_queried": self.merger.stats.shards_queried,
+                "refills": self.merger.stats.refills,
+                "records_pulled": self.merger.stats.records_pulled,
+            },
+            "shards": [sh.monitor.export_state() for sh in self._shards],
+        }
+
+    def _restore_scheme_state(self, fields: Mapping[str, Any]) -> None:
+        if [int(s) for s in fields["plan"]] != self.plan.assignment_list():
+            raise ValueError(
+                "snapshot shard plan does not match the constructed monitor"
+            )
+        if fields["scheme_name"] != self.scheme_name:
+            raise ValueError(
+                "snapshot per-shard scheme does not match the constructed "
+                "monitor"
+            )
+        children = fields["shards"]
+        if len(children) != len(self._shards):
+            raise ValueError("snapshot shard count mismatch")
+        for sh, child_state in zip(self._shards, children):
+            sh.monitor.restore_state(child_state)
+            sh.queue.clear()
+        self.full_deliveries = int(fields["full_deliveries"])
+        self.sync_deliveries = int(fields["sync_deliveries"])
+        self.merger.stats.restore(MergeStats(**fields["merge_stats"]))
+        self._merge_cache = None
+
+    def restore_counter_state(self, state: Mapping[str, Any]) -> None:
+        # the priming read after a resume re-runs the global merge, which
+        # queries shard monitors (their lazy place fetches touch shard
+        # storage) and bumps the merger's counters — re-pin those too.
+        fields = state["scheme_state"]
+        for sh, child_state in zip(self._shards, fields["shards"]):
+            sh.monitor.restore_counter_state(child_state)
+        self.merger.stats.restore(MergeStats(**fields["merge_stats"]))
+        super().restore_counter_state(state)
 
     # -- executor lifecycle ----------------------------------------------
 

@@ -185,6 +185,14 @@ class ShardPlan:
             self._assignment.ravel(), minlength=self.n_shards
         ).tolist()
 
+    def assignment_list(self) -> list[int]:
+        """Per-linear-cell shard ids (the :func:`plan_for` sequence form).
+
+        ``plan_for(grid, plan.assignment_list())`` rebuilds an equivalent
+        plan — the JSON-codable round-trip used by checkpoints.
+        """
+        return [int(s) for s in self._assignment.ravel()]
+
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         return (
             f"ShardPlan({self.grid.nx}x{self.grid.ny} grid, "

@@ -18,6 +18,7 @@ wants recorded, replayable streams rather than live generation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from repro.bench.timeline import Timeline, TimelineHook, TimelineSummary
@@ -65,13 +66,16 @@ class Simulation:
         mobility: Mobility,
         audit_every: int = 0,
         batch_size: int = 0,
+        session: MonitorSession | None = None,
     ) -> None:
         """``audit_every`` > 0 runs the invariant auditor every that
         many updates; ``batch_size`` > 0 ingests the live stream in
-        exact bursts (both forwarded to the session)."""
+        exact bursts (both forwarded to the session). Pass ``session``
+        to adopt a pre-built (e.g. checkpoint-resumed) session driving
+        ``monitor`` instead of constructing a fresh one."""
         self.monitor = monitor
         self.mobility = mobility
-        self.session = MonitorSession(
+        self.session = session or MonitorSession(
             monitor, batch_size=batch_size, audit_every=audit_every
         )
         self.timeline = Timeline()
@@ -102,8 +106,21 @@ class Simulation:
         monitor_factory: Callable | None = None,
         audit_every: int = 0,
         batch_size: int = 0,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 0,
+        resume: bool = False,
     ) -> "Simulation":
-        """Build a ready-to-run simulation from a named scenario."""
+        """Build a ready-to-run simulation from a named scenario.
+
+        ``checkpoint_dir`` makes the run durable (journal + snapshots
+        every ``checkpoint_every`` flush boundaries, one on close);
+        ``resume=True`` recovers the directory instead of starting
+        fresh. Resume only works with the *same* scenario knobs (name,
+        seed, sizes, batch size): the scenario's mobility model is
+        deterministic, so the already-journaled prefix is regenerated
+        and discarded to fast-forward live generation to where the
+        recovered run stopped.
+        """
         from repro.core.tuning import suggest_granularity
 
         world = build_scenario(
@@ -122,6 +139,25 @@ class Simulation:
             or suggest_granularity(n_places, protection_range),
         )
         factory = monitor_factory or OptCTUP
+        if checkpoint_dir is not None:
+            from repro.api import open_session
+
+            session = open_session(
+                factory,
+                places=world.places,
+                units=world.units,
+                config=config,
+                batch_size=batch_size,
+                audit_every=audit_every,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+            )
+            replayed = session.updates_processed + session.pending_updates
+            if resume and replayed:
+                for _ in world.mobility.updates(replayed):
+                    pass
+            return cls(session.monitor, world.mobility, session=session)
         monitor = factory(config, world.places, world.units)
         return cls(
             monitor,

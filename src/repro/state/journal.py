@@ -1,0 +1,181 @@
+"""The append-only update journal (write-ahead log).
+
+One JSON line per record, three record kinds:
+
+``"u"``
+    a single-mode update, journaled *before* it is processed
+    (write-ahead: after a crash the tail record may or may not have been
+    applied to the last snapshot — replay is safe either way because the
+    snapshot always sits at a record boundary);
+``"b"``
+    a batch-mode update, journaled when it enters the session buffer;
+``"f"``
+    a flush marker, written *after* the buffered batch was processed —
+    so a consistent snapshot always refers to a ``"u"`` or ``"f"``
+    sequence number, never to the middle of a burst.
+
+Records carry monotonically increasing sequence numbers. Reopening an
+existing journal continues the sequence; a torn tail (a partial or
+unparsable last line, the signature of a crash mid-append) is truncated
+away on open.
+
+Replay contract: feed ``"u"`` and ``"b"`` records back through a session
+configured with the *same* batch size — the buffer refills and
+auto-flushes at the same boundaries — and call ``flush()`` on each
+``"f"`` marker (a no-op when the auto-flush already drained the buffer,
+which makes replay idempotent at batch boundaries).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.geometry import Point
+from repro.model import LocationUpdate
+
+#: single-mode update, batch-buffered update, flush marker.
+OP_UPDATE = "u"
+OP_BATCHED = "b"
+OP_FLUSH = "f"
+
+
+@dataclass(frozen=True, slots=True)
+class JournalRecord:
+    """One decoded journal line."""
+
+    seq: int
+    op: str
+    #: ``None`` for flush markers.
+    update: LocationUpdate | None = None
+
+    @property
+    def is_flush(self) -> bool:
+        return self.op == OP_FLUSH
+
+
+def _encode(record: JournalRecord) -> str:
+    if record.update is None:
+        return json.dumps({"q": record.seq, "op": record.op})
+    update = record.update
+    return json.dumps(
+        {
+            "q": record.seq,
+            "op": record.op,
+            "u": update.unit_id,
+            "old": [update.old_location.x, update.old_location.y],
+            "new": [update.new_location.x, update.new_location.y],
+            "t": update.timestamp,
+        }
+    )
+
+
+def _decode(line: str) -> JournalRecord:
+    data = json.loads(line)
+    seq = int(data["q"])
+    op = data["op"]
+    if op == OP_FLUSH:
+        return JournalRecord(seq, op)
+    if op not in (OP_UPDATE, OP_BATCHED):
+        raise ValueError(f"unknown journal op {op!r}")
+    return JournalRecord(
+        seq,
+        op,
+        LocationUpdate(
+            unit_id=int(data["u"]),
+            old_location=Point(*data["old"]),
+            new_location=Point(*data["new"]),
+            timestamp=data["t"],
+        ),
+    )
+
+
+class UpdateJournal:
+    """An append-only, crash-truncating journal of location updates."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._last_seq = 0
+        self._recover_tail()
+        self._file = self.path.open("a", encoding="utf-8")
+
+    def _recover_tail(self) -> None:
+        """Scan the existing file: adopt the last sequence number and
+        truncate any torn tail left behind by a crash mid-append."""
+        if not self.path.exists():
+            return
+        good_end = 0
+        with self.path.open("rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # partial last line: torn
+                try:
+                    record = _decode(raw.decode("utf-8"))
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    break  # unparsable line: torn from here on
+                self._last_seq = record.seq
+                good_end += len(raw)
+        if good_end != self.path.stat().st_size:
+            with self.path.open("rb+") as handle:
+                handle.truncate(good_end)
+
+    # -- writing ----------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """The sequence number of the most recently appended record."""
+        return self._last_seq
+
+    def append_update(self, update: LocationUpdate, *, batched: bool) -> int:
+        """Journal one update; returns its sequence number."""
+        op = OP_BATCHED if batched else OP_UPDATE
+        return self._append(JournalRecord(self._last_seq + 1, op, update))
+
+    def append_flush(self) -> int:
+        """Journal a flush marker (the buffered batch was processed)."""
+        return self._append(JournalRecord(self._last_seq + 1, OP_FLUSH))
+
+    def _append(self, record: JournalRecord) -> int:
+        self._file.write(_encode(record) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._last_seq = record.seq
+        return record.seq
+
+    def truncate(self) -> None:
+        """Drop every record (a fresh, non-resuming run owns the dir)."""
+        self._file.truncate(0)
+        self._file.seek(0)
+        self._last_seq = 0
+
+    def close(self) -> None:
+        """Close the append handle (idempotent)."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "UpdateJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- reading ----------------------------------------------------------
+
+    def records(self) -> Iterator[JournalRecord]:
+        """All committed records, in sequence order."""
+        self._file.flush()
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.endswith("\n"):
+                    yield _decode(line)
+
+    def tail(self, after_seq: int) -> list[JournalRecord]:
+        """Every record with a sequence number greater than ``after_seq``
+        — the replay input for a snapshot taken at ``after_seq``."""
+        return [r for r in self.records() if r.seq > after_seq]

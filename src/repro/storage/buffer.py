@@ -10,6 +10,7 @@ reads, which is exactly the effect Δ is designed to avoid algorithmically.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Sequence
 
 from repro.storage.pagestore import Page, PageStore
 
@@ -55,3 +56,22 @@ class BufferPool:
     def clear(self) -> None:
         """Drop every cached frame (counters are kept)."""
         self._frames.clear()
+
+    def frame_ids(self) -> list[int]:
+        """Resident page ids in LRU order (oldest first)."""
+        return list(self._frames)
+
+    def restore_frames(self, page_ids: Sequence[int]) -> None:
+        """Reload exactly ``page_ids`` (LRU order), without accounting.
+
+        Used by checkpoint restore: the frames are reloaded out of band
+        and the hit/miss counters are overwritten afterwards, so the
+        resumed pool is bit-identical to the one that was snapshotted.
+        """
+        self._frames.clear()
+        for page_id in page_ids:
+            if self._capacity <= 0:
+                break
+            self._frames[page_id] = self._store.peek(page_id)
+            if len(self._frames) > self._capacity:
+                self._frames.popitem(last=False)

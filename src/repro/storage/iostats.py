@@ -36,6 +36,13 @@ class IoStats:
             self.page_reads, self.buffered_reads, self.page_writes, self.array_hits
         )
 
+    def restore(self, values: "IoStats") -> None:
+        """Overwrite every counter with ``values`` (checkpoint resume)."""
+        self.page_reads = values.page_reads
+        self.buffered_reads = values.buffered_reads
+        self.page_writes = values.page_writes
+        self.array_hits = values.array_hits
+
     def __sub__(self, other: "IoStats") -> "IoStats":
         return IoStats(
             self.page_reads - other.page_reads,

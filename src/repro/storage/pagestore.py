@@ -69,3 +69,14 @@ class PageStore:
             raise KeyError(f"no such page: {page_id}") from None
         self.stats.page_reads += 1
         return page
+
+    def peek(self, page_id: int) -> Page:
+        """Read one page without accounting.
+
+        Reserved for out-of-band inspection (checkpoint fingerprinting)
+        that must not perturb the experiment's I/O counters.
+        """
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"no such page: {page_id}") from None

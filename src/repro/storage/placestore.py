@@ -11,7 +11,8 @@ per-cell SoA snapshot cache).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import hashlib
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -69,6 +70,7 @@ class PlaceStore:
         self._cell_place_counts: dict[CellId, int] = {}
         self._array_cache: dict[CellId, CellArrays] = {}
         self._place_count = 0
+        self._fingerprint: str | None = None
         self._bulk_load(places)
 
     def _bulk_load(self, places: Iterable[Place]) -> None:
@@ -159,3 +161,63 @@ class PlaceStore:
         """
         for cell in self._cell_pages:
             yield from self.read_cell(cell)
+
+    @property
+    def fingerprint(self) -> str:
+        """A stable digest of the stored place set (checkpoint identity).
+
+        Floats are hashed via ``float.hex()`` so the digest is invariant
+        across Python versions that format ``repr`` differently. The
+        scan is unaccounted (``peek``): fingerprinting a live monitor at
+        checkpoint time must not perturb its I/O counters. The place set
+        is static, so the digest is computed once and cached.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            lines: list[str] = []
+            for pages in self._cell_pages.values():
+                for page_id in pages:
+                    for place in self._pages.peek(page_id).records:
+                        lines.append(
+                            f"{place.place_id}:{place.location.x.hex()}:"
+                            f"{place.location.y.hex()}:{place.required_protection}\n"
+                        )
+            lines.sort()
+            for line in lines:
+                digest.update(line.encode("ascii"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def export_cache_state(self) -> dict[str, Any]:
+        """JSON-codable picture of the store's transient caches.
+
+        Captures which cells sit in the SoA array cache, which pages are
+        resident in the buffer pool (LRU order), and the pool's hit/miss
+        counters — everything :meth:`restore_cache_state` needs to bring
+        a freshly bulk-loaded store back to the snapshotted cache state.
+        """
+        return {
+            "arrays": [self.grid.linear(cell) for cell in self._array_cache],
+            "frames": self._buffer.frame_ids(),
+            "buffer_hits": self._buffer.hits,
+            "buffer_misses": self._buffer.misses,
+        }
+
+    def restore_cache_state(self, state: Mapping[str, Any]) -> None:
+        """Rebuild the transient caches captured by :meth:`export_cache_state`.
+
+        The array cache is repopulated by re-projecting the recorded
+        cells and the buffer frames are reloaded out of band; callers
+        overwrite the shared :class:`IoStats` afterwards, so any
+        accounting noise from the rebuild is erased.
+        """
+        self._array_cache.clear()
+        for index in state["arrays"]:
+            cell = self.grid.from_linear(int(index))
+            places: list[Place] = []
+            for page_id in self._cell_pages.get(cell, ()):
+                places.extend(self._pages.peek(page_id).records)
+            self._array_cache[cell] = CellArrays(places)
+        self._buffer.restore_frames([int(p) for p in state["frames"]])
+        self._buffer.hits = int(state["buffer_hits"])
+        self._buffer.misses = int(state["buffer_misses"])

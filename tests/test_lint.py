@@ -367,6 +367,126 @@ class TestHygiene:
         assert codes_of(run_rules([fixture], "RPL007")) == ["RPL007"]
 
 
+# -- RPL008: snapshot completeness --------------------------------------
+
+
+class TestSnapshotCompleteness:
+    def test_undeclared_mutation_fires(self):
+        fixture = src(
+            """
+            class Scheme:
+                STATE_FIELDS = ("units",)
+                def _apply(self, update):
+                    self.cache = {}
+            """
+        )
+        result = run_rules([fixture], "RPL008")
+        assert codes_of(result) == ["RPL008"]
+        assert "self.cache" in result.violations[0].message
+
+    def test_declared_and_transient_are_clean(self):
+        fixture = src(
+            """
+            class Scheme:
+                STATE_FIELDS = ("units", "counters")
+                TRANSIENT_FIELDS = ("_dirty",)
+                def _apply(self, update):
+                    self.units[update.unit_id] = update.new_location
+                    self.counters += 1
+                    self._dirty = True
+            """
+        )
+        assert codes_of(run_rules([fixture], "RPL008")) == []
+
+    def test_init_is_exempt(self):
+        fixture = src(
+            """
+            class Scheme:
+                STATE_FIELDS = ("units",)
+                def __init__(self):
+                    self.cache = {}
+            """
+        )
+        assert codes_of(run_rules([fixture], "RPL008")) == []
+
+    def test_inherited_declaration_puts_subclass_in_scope(self):
+        base = src(
+            """
+            class Base:
+                STATE_FIELDS = ("units",)
+            """,
+            path="base.py",
+        )
+        leaf = src(
+            """
+            class Leaf(Base):
+                def _apply(self, update):
+                    self.sneaky = 1
+            """,
+            path="leaf.py",
+        )
+        result = run_rules([base, leaf], "RPL008")
+        assert codes_of(result) == ["RPL008"]
+        assert result.violations[0].path == "leaf.py"
+
+    def test_subclass_fields_union_with_base(self):
+        base = src(
+            """
+            class Base:
+                STATE_FIELDS = ("units",)
+            """,
+            path="base.py",
+        )
+        leaf = src(
+            """
+            class Leaf(Base):
+                STATE_FIELDS = ("extra",)
+                def _apply(self, update):
+                    self.units = 1
+                    self.extra = 2
+            """,
+            path="leaf.py",
+        )
+        assert codes_of(run_rules([base, leaf], "RPL008")) == []
+
+    def test_nested_targets_root_at_the_field(self):
+        fixture = src(
+            """
+            class Scheme:
+                STATE_FIELDS = ("table",)
+                def _apply(self, update):
+                    self.table[update.unit_id].count += 1
+                    self.rogue[update.unit_id] = 1
+            """
+        )
+        result = run_rules([fixture], "RPL008")
+        assert codes_of(result) == ["RPL008"]
+        assert "self.rogue" in result.violations[0].message
+
+    def test_locals_and_other_receivers_ignored(self):
+        fixture = src(
+            """
+            class Scheme:
+                STATE_FIELDS = ("units",)
+                def _apply(self, update, other):
+                    local = 1
+                    other.anything = 2
+                    local, other.more = 3, 4
+            """
+        )
+        assert codes_of(run_rules([fixture], "RPL008")) == []
+
+    def test_undeclared_class_is_out_of_scope(self):
+        fixture = src(
+            """
+            class Plain:
+                def method(self):
+                    self.anything = 1
+            """
+        )
+        assert codes_of(run_rules([fixture], "RPL008")) == []
+
+
 # -- RPLT01: the typing gate --------------------------------------------
 
 
@@ -576,7 +696,7 @@ class TestShippedTree:
             data = tomllib.load(handle)
         table = data["tool"]["reprolint"]
         assert "repro.core" in table["strict-typed-modules"]
-        assert data["project"]["version"] == "1.2.0"
+        assert data["project"]["version"] == "1.3.0"
 
 
 if __name__ == "__main__":

@@ -29,9 +29,10 @@ class TestSnapshot:
 
     def test_snapshot_is_json(self, running_monitor):
         data = json.loads(snapshot_optctup(running_monitor))
-        assert data["version"] == 1
-        assert data["units"]
-        assert data["cells"]
+        assert data["format"] == 2
+        assert data["scheme"] == "opt"
+        assert data["state"]["units"]
+        assert data["state"]["scheme_state"]["cell_states"]
 
 
 class TestRestore:
@@ -78,7 +79,7 @@ class TestRestore:
         self, running_monitor, small_places
     ):
         data = json.loads(snapshot_optctup(running_monitor))
-        data["version"] = 99
+        data["format"] = 99
         with pytest.raises(CheckpointError):
             restore_optctup(json.dumps(data), small_places)
 

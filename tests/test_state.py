@@ -1,0 +1,465 @@
+"""The universal state layer: snapshots, the journal, crash recovery.
+
+The headline guarantee under test: for **every** registered scheme (and
+the sharded wrapper), killing a checkpointed run at an arbitrary batch
+boundary and resuming from the directory produces a monitor that is
+*bit-identical* to the uninterrupted run — same top-k (ids and
+safeties), same SK, same work counters, same I/O accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import SCHEMES, open_session
+from repro.core import CTUPConfig
+from repro.ext import DecayCTUP, ExtentCTUP, ExtentPlace, ThresholdCTUP
+from repro.geometry import Rect
+from repro.state import (
+    CheckpointPolicy,
+    CheckpointStore,
+    SnapshotError,
+    Snapshottable,
+    UpdateJournal,
+    fingerprint_places,
+    fingerprint_places_v1,
+    restore_monitor,
+    snapshot_monitor,
+)
+from repro.workloads import (
+    RandomWalkMobility,
+    generate_places,
+    generate_units,
+    record_stream,
+)
+
+CONFIG = CTUPConfig(k=5, delta=3, protection_range=0.1, granularity=8)
+PLACES = generate_places(400, seed=21)
+STREAM = record_stream(
+    RandomWalkMobility(
+        generate_units(24, CONFIG.protection_range, seed=22),
+        step=0.03,
+        seed=23,
+    ),
+    80,
+)
+BATCH = 8
+
+
+def make_units():
+    """Fresh unit objects at their initial (pre-stream) positions."""
+    return generate_units(24, CONFIG.protection_range, seed=22)
+
+
+def state_fingerprint(monitor, session=None):
+    """Everything "bit-identical" quantifies over, as one comparable."""
+    data = {
+        "topk": [(r.place_id, r.safety) for r in monitor.top_k()],
+        "sk": monitor.sk(),
+        "counters": {
+            name: value
+            for name, value in monitor.counters.as_dict().items()
+            if not name.startswith("time_")
+        },
+    }
+    store = getattr(monitor, "store", None)
+    if store is not None:
+        io = store.io_stats
+        data["io"] = (
+            io.page_reads,
+            io.buffered_reads,
+            io.page_writes,
+            io.array_hits,
+        )
+    if session is not None:
+        data["updates_processed"] = session.updates_processed
+    return data
+
+
+def run_straight(scheme, shards, total=80, batch_size=BATCH):
+    """The uninterrupted reference run (no checkpointing at all)."""
+    session = open_session(
+        scheme,
+        places=PLACES,
+        units=make_units(),
+        config=CONFIG,
+        shards=shards,
+        batch_size=batch_size,
+    )
+    session.start()
+    for update in STREAM.updates[:total]:
+        session.feed(update)
+    session.flush()
+    return state_fingerprint(session.monitor, session)
+
+
+_STRAIGHT_CACHE: dict[tuple, dict] = {}
+
+
+def straight(scheme, shards):
+    key = (scheme, shards)
+    if key not in _STRAIGHT_CACHE:
+        _STRAIGHT_CACHE[key] = run_straight(scheme, shards)
+    return _STRAIGHT_CACHE[key]
+
+
+def crash_and_resume(
+    scheme, shards, kill, directory, total=80, every=2, batch_size=BATCH
+):
+    """Feed ``kill`` updates, die without flushing, resume, finish."""
+    session = open_session(
+        scheme,
+        places=PLACES,
+        units=make_units(),
+        config=CONFIG,
+        shards=shards,
+        batch_size=batch_size,
+        checkpoint_dir=directory,
+        checkpoint_every=every,
+    )
+    session.start()
+    for update in STREAM.updates[:kill]:
+        session.feed(update)
+    # the crash: no flush, no close-snapshot. Every journal record is
+    # already fsynced; dropping the handle is just harness hygiene.
+    session.journal.close()
+    resumed = open_session(
+        scheme,
+        places=PLACES,
+        units=make_units(),
+        config=CONFIG,
+        shards=shards,
+        batch_size=batch_size,
+        checkpoint_dir=directory,
+        resume=True,
+    )
+    assert resumed.started, "resume must hand back a started session"
+    for update in STREAM.updates[kill:total]:
+        resumed.feed(update)
+    resumed.flush()
+    return state_fingerprint(resumed.monitor, resumed)
+
+
+# -- the headline guarantee ---------------------------------------------
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("shards", [0, 1, 4])
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @given(boundary=st.integers(min_value=1, max_value=8))
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_kill_at_batch_boundary_resumes_bit_identical(
+        self, scheme, shards, boundary
+    ):
+        kill = BATCH * boundary
+        with tempfile.TemporaryDirectory() as directory:
+            resumed = crash_and_resume(scheme, shards, kill, directory)
+        assert resumed == straight(scheme, shards)
+
+    def test_mid_batch_kill_replays_the_pending_tail(self, tmp_path):
+        # 21 is not a batch boundary: three journaled-but-unflushed
+        # updates must come back as the resumed session's pending burst.
+        resumed = crash_and_resume("opt", 4, 21, tmp_path)
+        assert resumed == straight("opt", 4)
+
+    def test_journal_only_resume_needs_no_snapshot(self, tmp_path):
+        # checkpoint_every=0 and no close: the crash leaves a journal
+        # but zero snapshots — recovery replays from scratch.
+        resumed = crash_and_resume("basic", 0, 24, tmp_path, every=0)
+        assert not CheckpointStore(tmp_path).snapshot_paths()
+        assert resumed == straight("basic", 0)
+
+    def test_fresh_start_wipes_the_directory(self, tmp_path):
+        crash_and_resume("naive", 0, 16, tmp_path)
+        session = open_session(
+            "naive",
+            places=PLACES,
+            units=make_units(),
+            config=CONFIG,
+            batch_size=BATCH,
+            checkpoint_dir=tmp_path,
+        )
+        assert not CheckpointStore(tmp_path).snapshot_paths()
+        session.start()
+        session.feed(STREAM.updates[0])
+        assert session.journal.last_seq == 1  # seq restarted: old run gone
+
+    def test_close_writes_the_on_close_snapshot(self, tmp_path):
+        with open_session(
+            "opt",
+            places=PLACES,
+            units=make_units(),
+            config=CONFIG,
+            batch_size=BATCH,
+            checkpoint_dir=tmp_path,
+        ) as session:
+            session.start()
+            for update in STREAM.updates[:10]:
+                session.feed(update)
+        document = CheckpointStore(tmp_path).latest()
+        assert document is not None
+        assert document["session"]["updates_processed"] == 10
+
+
+class TestOpenSessionValidation:
+    def test_resume_requires_a_directory(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            open_session(
+                "opt",
+                places=PLACES,
+                units=make_units(),
+                config=CONFIG,
+                resume=True,
+            )
+
+    def test_resume_rejects_an_adopted_monitor(self, tmp_path):
+        monitor = SCHEMES["opt"](CONFIG, PLACES, make_units())
+        with pytest.raises(ValueError, match="own monitor"):
+            open_session(
+                monitor=monitor, checkpoint_dir=tmp_path, resume=True
+            )
+
+    def test_resume_requires_places_and_units(self, tmp_path):
+        with pytest.raises(ValueError, match="places"):
+            open_session("opt", checkpoint_dir=tmp_path, resume=True)
+
+
+# -- the snapshot protocol ----------------------------------------------
+
+
+def _ext_factories():
+    return {
+        "threshold": lambda c, p, u: ThresholdCTUP(c, p, u, tau=-5.0),
+        "decay": DecayCTUP,
+    }
+
+
+class TestSnapshottable:
+    def test_every_scheme_satisfies_the_protocol(self):
+        units = make_units()
+        monitors = [
+            factory(CONFIG, PLACES, units)
+            for factory in (*SCHEMES.values(), *_ext_factories().values())
+        ]
+        for monitor in monitors:
+            assert isinstance(monitor, Snapshottable), type(monitor)
+            assert "counters" in monitor.state_fields()
+
+    def test_sharded_and_extent_satisfy_it_structurally(self):
+        from repro.shard.monitor import ShardedMonitor
+
+        sharded = ShardedMonitor(CONFIG, PLACES, make_units(), shards=2)
+        assert isinstance(sharded, Snapshottable)
+        extent = ExtentCTUP(CONFIG, _extent_places(), make_units())
+        assert isinstance(extent, Snapshottable)
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_roundtrip_through_json_is_bit_identical(self, scheme):
+        monitor = SCHEMES[scheme](CONFIG, PLACES, make_units())
+        monitor.initialize()
+        for update in STREAM.prefix(40):
+            monitor.process(update)
+        document = json.loads(json.dumps(snapshot_monitor(monitor)))
+        restored = restore_monitor(
+            document, places=PLACES, units=make_units()
+        )
+        assert state_fingerprint(restored) == state_fingerprint(monitor)
+        # both must keep evolving identically after the cut.
+        for update in STREAM.updates[40:60]:
+            monitor.process(update)
+            restored.process(update)
+        assert state_fingerprint(restored) == state_fingerprint(monitor)
+
+    @pytest.mark.parametrize("name", sorted(_ext_factories()))
+    def test_ext_schemes_roundtrip_via_factory(self, name):
+        factory = _ext_factories()[name]
+        monitor = factory(CONFIG, PLACES, make_units())
+        monitor.initialize()
+        for update in STREAM.prefix(40):
+            monitor.process(update)
+        document = json.loads(json.dumps(snapshot_monitor(monitor)))
+        restored = restore_monitor(
+            document, places=PLACES, units=make_units(), factory=factory
+        )
+        assert state_fingerprint(restored) == state_fingerprint(monitor)
+
+    def test_extent_roundtrips(self):
+        places = _extent_places()
+        monitor = ExtentCTUP(CONFIG, places, make_units())
+        monitor.initialize()
+        for update in STREAM.prefix(40):
+            monitor.process(update)
+        document = json.loads(json.dumps(snapshot_monitor(monitor)))
+        restored = restore_monitor(
+            document,
+            places=places,
+            units=make_units(),
+            factory=ExtentCTUP,
+        )
+        assert [
+            (r.place_id, r.safety) for r in restored.top_k()
+        ] == [(r.place_id, r.safety) for r in monitor.top_k()]
+        assert restored.sk() == monitor.sk()
+
+    def test_restore_against_wrong_places_rejected(self):
+        monitor = SCHEMES["opt"](CONFIG, PLACES, make_units())
+        monitor.initialize()
+        document = snapshot_monitor(monitor)
+        with pytest.raises(SnapshotError, match="place set"):
+            restore_monitor(
+                document,
+                places=generate_places(400, seed=999),
+                units=make_units(),
+            )
+
+    def test_unknown_format_rejected(self):
+        monitor = SCHEMES["opt"](CONFIG, PLACES, make_units())
+        monitor.initialize()
+        document = dict(snapshot_monitor(monitor), format=99)
+        with pytest.raises(SnapshotError, match="format"):
+            restore_monitor(document, places=PLACES, units=make_units())
+
+
+def _extent_places():
+    import random
+
+    rng = random.Random(31)
+    places = []
+    for i in range(200):
+        cx, cy = rng.random(), rng.random()
+        hw, hh = rng.uniform(0, 0.01), rng.uniform(0, 0.01)
+        places.append(
+            ExtentPlace(
+                i,
+                Rect(
+                    max(0.0, cx - hw),
+                    max(0.0, cy - hh),
+                    min(1.0, cx + hw),
+                    min(1.0, cy + hh),
+                ),
+                rng.choice([0, 1, 2, 5]),
+            )
+        )
+    return places
+
+
+# -- the journal --------------------------------------------------------
+
+
+class TestJournal:
+    def test_seq_continues_across_reopen(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with UpdateJournal(path) as journal:
+            journal.append_update(STREAM.updates[0], batched=False)
+            journal.append_update(STREAM.updates[1], batched=True)
+            assert journal.append_flush() == 3
+        with UpdateJournal(path) as journal:
+            assert journal.last_seq == 3
+            assert journal.append_flush() == 4
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with UpdateJournal(path) as journal:
+            journal.append_update(STREAM.updates[0], batched=False)
+            journal.append_update(STREAM.updates[1], batched=False)
+        with open(path, "a") as handle:
+            handle.write('{"q": 3, "op": "u", "u"')  # the torn write
+        with UpdateJournal(path) as journal:
+            records = list(journal.records())
+            assert [r.seq for r in records] == [1, 2]
+            assert journal.append_flush() == 3
+
+    def test_tail_filters_already_applied_records(self, tmp_path):
+        with UpdateJournal(tmp_path / "journal.jsonl") as journal:
+            for update in STREAM.prefix(5):
+                journal.append_update(update, batched=False)
+            tail = list(journal.tail(3))
+            assert [r.seq for r in tail] == [4, 5]
+
+    def test_update_payload_roundtrips_exactly(self, tmp_path):
+        original = STREAM.updates[0]
+        with UpdateJournal(tmp_path / "journal.jsonl") as journal:
+            journal.append_update(original, batched=False)
+            record = next(iter(journal.records()))
+        assert record.update.unit_id == original.unit_id
+        assert record.update.old_location == original.old_location
+        assert record.update.new_location == original.new_location
+        assert record.update.timestamp == original.timestamp
+
+
+class TestCheckpointPolicy:
+    def test_negative_cadence_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(directory=tmp_path, every_batches=-1)
+
+    def test_empty_directory_has_no_latest(self, tmp_path):
+        assert CheckpointStore(tmp_path).latest() is None
+
+
+# -- fingerprints -------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_v2_hashes_exact_float_bits(self):
+        assert fingerprint_places(PLACES) != fingerprint_places_v1(PLACES)
+        assert fingerprint_places(PLACES) == fingerprint_places(list(PLACES))
+
+    def test_different_places_differ(self):
+        other = generate_places(400, seed=999)
+        assert fingerprint_places(PLACES) != fingerprint_places(other)
+
+    def test_version_1_fingerprints_still_verify(self):
+        monitor = SCHEMES["opt"](CONFIG, PLACES, make_units())
+        monitor.initialize()
+        document = dict(
+            snapshot_monitor(monitor),
+            fingerprint_version=1,
+            places_fingerprint=fingerprint_places_v1(PLACES),
+        )
+        restored = restore_monitor(document, places=PLACES, units=make_units())
+        assert restored.topk_ids() == monitor.topk_ids()
+
+    def test_unknown_fingerprint_version_rejected(self):
+        monitor = SCHEMES["opt"](CONFIG, PLACES, make_units())
+        monitor.initialize()
+        document = dict(snapshot_monitor(monitor), fingerprint_version=3)
+        with pytest.raises(SnapshotError, match="fingerprint"):
+            restore_monitor(document, places=PLACES, units=make_units())
+
+
+# -- the committed format-1 fixture -------------------------------------
+
+
+class TestV1Compat:
+    FIXTURE = pathlib.Path(__file__).parent / "data" / "checkpoint_v1.json"
+
+    def test_committed_v1_checkpoint_still_loads(self, small_places):
+        from repro.persist import restore_optctup
+
+        monitor = restore_optctup(self.FIXTURE.read_text(), small_places)
+        assert monitor.topk_ids() == [21, 327, 58, 277, 284]
+        assert monitor.sk() == -9.0
+
+    def test_restored_v1_monitor_keeps_monitoring(
+        self, small_places, small_stream, small_oracle
+    ):
+        from repro.persist import restore_optctup
+        from tests.conftest import assert_valid_topk
+
+        monitor = restore_optctup(self.FIXTURE.read_text(), small_places)
+        for update in small_stream.prefix(60):
+            small_oracle.apply(update)
+        for update in small_stream.updates[60:90]:
+            small_oracle.apply(update)
+            monitor.process(update)
+        assert_valid_topk(small_oracle, monitor, monitor.config.k)
