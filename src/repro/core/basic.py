@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.core import kernels
 from repro.core.config import CTUPConfig
 from repro.core.monitor import CTUPMonitor
 from repro.core.tables import table1_delta
@@ -30,7 +31,7 @@ from repro.grid.cellstate import (
     restore_cell_states,
 )
 from repro.grid.partition import CellId
-from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+from repro.model import CoalescedMove, LocationUpdate, Place, SafetyRecord, Unit
 
 
 class BasicCTUP(CTUPMonitor):
@@ -92,9 +93,46 @@ class BasicCTUP(CTUPMonitor):
         # Step 2: Table I on every affected dark cell.
         self._adjust_dark_bounds(old, new, radius)
 
+    def _apply_burst(self, moves: Sequence[CoalescedMove]) -> int:
+        """Chain-aware maintain phase: endpoints telescope, tables fold.
+
+        Position tracking and the maintained-table scan see only each
+        chain's endpoints (intermediate applies cancel exactly); Table I
+        runs per chain step because its deltas are path-dependent
+        (``P→P`` decreases, so a three-waypoint ``P`` chain decreases
+        twice). With ``config.burst_kernels`` the whole burst goes
+        through the vectorised kernels instead of this per-chain loop —
+        bit-identical results either way.
+        """
+        if self.config.burst_kernels:
+            return kernels.apply_burst_basic(self, moves)
+        radius = self.config.protection_range
+        skipped = 0
+        for move in moves:
+            old = self.units.apply_chain(move.raws)
+            scanned = self.maintained.apply_unit_move(old, move.last_new, radius)
+            self.counters.maintained_scans += scanned
+            self.counters.distance_rows += 2 * scanned
+            # fold Table I over the waypoints, entering the chain at the
+            # *tracked* old position (what per-update _apply would see).
+            step_old = old
+            for raw in move.raws:
+                self._adjust_dark_bounds(step_old, raw.new_location, radius)
+                step_old = raw.new_location
+            skipped += move.raw_count - 1
+        return skipped
+
     def _refresh(self) -> int:
         # Step 3: illuminate dark cells whose bound fell below SK.
-        accessed = self._illuminate_below_sk()
+        if self.config.burst_kernels:
+            accessed = kernels.refill_below_sk(
+                self.cell_states,
+                self.sk,
+                self._illuminate,
+                skip_illuminated=True,
+            )
+        else:
+            accessed = self._illuminate_below_sk()
         # Step 4: darken illuminated cells that hold no top-k place.
         self._darken_unneeded()
         return accessed

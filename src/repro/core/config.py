@@ -45,6 +45,14 @@ class CTUPConfig:
         of scanning all |U| units. Purely a performance toggle — results
         are bit-for-bit identical either way (the exact reachability
         filter always runs); off is the hot-path ablation.
+    burst_kernels:
+        run coalesced bursts through the vectorised multi-unit maintain
+        kernels of :mod:`repro.core.kernels` (BasicCTUP / OptCTUP).
+        Like ``use_unit_grid`` this is purely a performance toggle: the
+        kernels fold the same per-waypoint Table I/II transitions the
+        scalar path applies, so results, top-k, SK and the logical work
+        counters are bit-for-bit identical; off is the scalar ablation
+        measured by ``benchmarks/bench_burst.py``.
     page_capacity / buffer_pages:
         layout of the simulated lower storage level.
     """
@@ -56,6 +64,7 @@ class CTUPConfig:
     space: Rect = field(default_factory=_unit_square)
     use_doo: bool = True
     use_unit_grid: bool = True
+    burst_kernels: bool = False
     page_capacity: int = 64
     buffer_pages: int = 0
 

@@ -18,6 +18,12 @@ class MonitorCounters:
     """Cumulative work performed by one monitor instance."""
 
     updates_processed: int = 0
+    #: raw updates whose maintain work was collapsed into another update
+    #: of the same unit by burst coalescing (``repro.core.batch``). Every
+    #: coalesced update still counts in ``updates_processed``; this field
+    #: explains the matching drop in ``maintained_scans`` /
+    #: ``distance_rows`` relative to a per-update run.
+    coalesced_updates: int = 0
     #: cells illuminated (BasicCTUP) or accessed (OptCTUP), incl. init.
     cells_accessed: int = 0
     #: places loaded from the lower storage level.
@@ -84,19 +90,36 @@ class MonitorCounters:
 
     @classmethod
     def from_dict(cls, values: dict[str, float]) -> "MonitorCounters":
-        """Inverse of :meth:`as_dict` (checkpoint decoding)."""
-        return cls(**{f.name: values[f.name] for f in fields(cls)})
+        """Inverse of :meth:`as_dict` (checkpoint decoding).
+
+        Fields absent from ``values`` keep their dataclass default, so
+        snapshots written before a counter existed restore cleanly (the
+        counter was necessarily 0 when they were taken).
+        """
+        return cls(
+            **{f.name: values[f.name] for f in fields(cls) if f.name in values}
+        )
 
 
 @dataclass(slots=True)
 class UpdateReport:
-    """What one ``process()`` call did (returned to the caller)."""
+    """What one ``process()`` call (or one burst) did.
 
-    unit_id: int
+    ``unit_id`` identifies the moved unit for single-update reports and
+    is ``None`` for batch reports — a burst has no single mover, and the
+    old behaviour of reusing the last update's id was misleading.
+    ``batch_size`` is the number of raw updates the report covers;
+    ``coalesced_size`` how many unit transitions remained after burst
+    coalescing (equal to ``batch_size`` when no unit moved twice).
+    """
+
     sk: float
+    unit_id: int | None = None
     cells_accessed: int = 0
     maintain_seconds: float = 0.0
     access_seconds: float = 0.0
+    batch_size: int = 1
+    coalesced_size: int = 1
 
 
 @dataclass(slots=True)

@@ -39,7 +39,7 @@ from repro.core.config import CTUPConfig
 from repro.core.metrics import InitReport, MonitorCounters, UpdateReport
 from repro.core.units import UnitIndex, UnitKernelStats
 from repro.grid.partition import GridPartition
-from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+from repro.model import CoalescedMove, LocationUpdate, Place, SafetyRecord, Unit
 from repro.storage.iostats import IoStats
 from repro.storage.placestore import PlaceStore
 
@@ -204,6 +204,40 @@ class CTUPMonitor(abc.ABC):
         self.counters.updates_processed += 1
         self.counters.time_maintain_s += time.perf_counter() - start
 
+    def apply_burst(self, moves: Sequence[CoalescedMove]) -> None:
+        """Run the maintain phase for one coalesced burst (public phase API).
+
+        ``moves`` is the output of :func:`repro.core.batch.coalesce_burst`
+        — at most one chain per unit, in first-appearance order. Exactly
+        like ``apply_update``, the result invariant may be stale until
+        ``refresh()``. Counters cover every *raw* update the burst
+        carried; the work actually skipped by coalescing is reported via
+        ``counters.coalesced_updates``.
+        """
+        self._require_initialized()
+        start = time.perf_counter()
+        skipped = self._apply_burst(moves)
+        self.counters.updates_processed += sum(m.raw_count for m in moves)
+        self.counters.coalesced_updates += skipped
+        self.counters.time_maintain_s += time.perf_counter() - start
+
+    def _apply_burst(self, moves: Sequence[CoalescedMove]) -> int:
+        """Maintain phase for a coalesced burst; returns updates skipped.
+
+        The default replays every raw update through ``_apply`` — exact
+        for any scheme, with zero work skipped. Schemes whose maintain
+        phase can exploit chain structure (BasicCTUP, OptCTUP) override
+        this: maintained-safety adjustments and position tracking
+        telescope over a chain, so only the endpoints are scanned, while
+        bound/DecHash maintenance folds the per-step Table I/II
+        transitions to stay bit-identical (see ``docs/architecture.md``,
+        "Burst execution").
+        """
+        for move in moves:
+            for raw in move.raws:
+                self._apply(raw)
+        return 0
+
     def refresh(self) -> int:
         """Run the access phase (public phase API); returns cells accessed."""
         self._require_initialized()
@@ -260,6 +294,7 @@ class CTUPMonitor(abc.ABC):
                 "queries": stats.queries,
                 "candidate_units": stats.candidate_units,
                 "reachable_units": stats.reachable_units,
+                "coalesced_updates": stats.coalesced_updates,
             },
             "io": {
                 "page_reads": io.page_reads,

@@ -306,6 +306,41 @@ class MaintainedPlaces:
         self._safety[:n] += now.astype(np.float64) - was.astype(np.float64)
         return n
 
+    def apply_unit_moves(
+        self,
+        old_x: np.ndarray,
+        old_y: np.ndarray,
+        new_x: np.ndarray,
+        new_y: np.ndarray,
+        radius: float,
+    ) -> int:
+        """Adjust every maintained safety for a whole burst of unit moves.
+
+        One ``(rows, moves)`` broadcast replaces ``len(old_x)`` calls to
+        :meth:`apply_unit_move`. Exactness: each row's total change is
+        the integer sum of its per-move ``now - was`` terms, and adding
+        that sum once is bit-identical to accumulating the per-move
+        float terms (safeties are integer-valued, far below 2**53).
+        Returns the rows scanned *per move* — callers charge their scan
+        counters once per move, matching the sequential path.
+        """
+        n = self._n
+        if n == 0 or len(old_x) == 0:
+            return n
+        xs = self._xs[:n]
+        ys = self._ys[:n]
+        r2 = radius * radius
+        dxo = xs[:, None] - old_x[None, :]
+        dyo = ys[:, None] - old_y[None, :]
+        was = dxo * dxo + dyo * dyo <= r2
+        dxn = xs[:, None] - new_x[None, :]
+        dyn = ys[:, None] - new_y[None, :]
+        now = dxn * dxn + dyn * dyn <= r2
+        self._safety[:n] += (
+            now.sum(axis=1, dtype=np.int64) - was.sum(axis=1, dtype=np.int64)
+        ).astype(np.float64)
+        return n
+
     def restore_rows(
         self,
         rows: Iterable[Sequence[Any]],

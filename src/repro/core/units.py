@@ -19,12 +19,12 @@ saved.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.geometry import Point, Rect
-from repro.model import LocationUpdate, Unit
+from repro.model import CoalescedMove, LocationUpdate, Unit
 
 if TYPE_CHECKING:
     from repro.grid.partition import GridPartition
@@ -45,11 +45,18 @@ class UnitKernelStats:
     queries: int = 0
     candidate_units: int = 0
     reachable_units: int = 0
+    #: raw location updates whose per-move position apply was collapsed
+    #: into a chain endpoint by burst coalescing — the unit-index work
+    #: (position writes, bucket moves) skipped on purpose, counted so
+    #: merged shard stats and the bench guard see an explained drop
+    #: rather than missing work.
+    coalesced_updates: int = 0
 
     def reset(self) -> None:
         self.queries = 0
         self.candidate_units = 0
         self.reachable_units = 0
+        self.coalesced_updates = 0
 
     def snapshot(self) -> "UnitKernelStats":
         return UnitKernelStats(
@@ -78,6 +85,7 @@ class UnitKernelStats:
         self.queries = values.queries
         self.candidate_units = values.candidate_units
         self.reachable_units = values.reachable_units
+        self.coalesced_updates = values.coalesced_updates
 
 
 class UnitIndex:
@@ -185,6 +193,76 @@ class UnitIndex:
                 row, old.x, old.y, update.new_location.x, update.new_location.y
             )
         return old
+
+    def apply_chain(self, raws: Sequence[LocationUpdate]) -> Point:
+        """Record one unit's coalesced move chain; returns the tracked old.
+
+        All updates must carry the same unit id and form a contiguous
+        chain (each ``old_location`` equal to its predecessor's
+        ``new_location``) — :func:`repro.core.batch.coalesce_burst`
+        guarantees both. Only the final position is written: the
+        intermediate applies are skipped and charged to
+        ``stats.coalesced_updates``. The end state is identical to
+        applying each update in turn — position tracking only ever reads
+        the latest report.
+        """
+        first = raws[0]
+        unit = self._units.get(first.unit_id)
+        if unit is None:
+            raise KeyError(f"unknown unit {first.unit_id}")
+        old = unit.location
+        if old.squared_distance_to(first.old_location) > 1e-18:
+            raise ValueError(
+                f"update for unit {first.unit_id} carries old location "
+                f"{first.old_location} but the server tracks {old}"
+            )
+        last = raws[-1].new_location
+        unit.location = last
+        row = self._row_of[first.unit_id]
+        self._xs[row] = last.x
+        self._ys[row] = last.y
+        if self._grid_index is not None:
+            self._grid_index.move(row, old.x, old.y, last.x, last.y)
+        self.stats.coalesced_updates += len(raws) - 1
+        return old
+
+    def apply_moves(self, moves: Sequence[CoalescedMove]) -> list[Point]:
+        """Batched :meth:`apply_chain` over all of a burst's chains.
+
+        Validates every chain head against the tracked position first,
+        then writes all final coordinates in one vectorised pass and
+        re-buckets the changed rows through
+        :meth:`~repro.index.unitgrid.UnitGridIndex.move_many`. End state
+        and ``stats`` are identical to calling :meth:`apply_chain` per
+        move in order.
+        """
+        olds: list[Point] = []
+        rows = np.empty(len(moves), dtype=np.int64)
+        for pos, move in enumerate(moves):
+            first = move.raws[0]
+            unit = self._units.get(first.unit_id)
+            if unit is None:
+                raise KeyError(f"unknown unit {first.unit_id}")
+            old = unit.location
+            if old.squared_distance_to(first.old_location) > 1e-18:
+                raise ValueError(
+                    f"update for unit {first.unit_id} carries old location "
+                    f"{first.old_location} but the server tracks {old}"
+                )
+            olds.append(old)
+            rows[pos] = self._row_of[first.unit_id]
+            self.stats.coalesced_updates += move.raw_count - 1
+        old_x = self._xs[rows].copy()
+        old_y = self._ys[rows].copy()
+        new_x = np.array([m.last_new.x for m in moves], dtype=np.float64)
+        new_y = np.array([m.last_new.y for m in moves], dtype=np.float64)
+        self._xs[rows] = new_x
+        self._ys[rows] = new_y
+        for move in moves:
+            self._units[move.unit_id].location = move.last_new
+        if self._grid_index is not None:
+            self._grid_index.move_many(rows, old_x, old_y, new_x, new_y)
+        return olds
 
     def ap_counts(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
         """Actual protection ``AP`` of each query point.

@@ -33,6 +33,10 @@ _RELATION_OF_CODE = {
     _F_CODE: CellRelation.FULL,
 }
 
+#: public view of the code -> relation mapping, for kernels that consume
+#: raw relation codes instead of CellRelation values (repro.core.kernels).
+RELATION_OF_CODE: dict[int, CellRelation] = _RELATION_OF_CODE
+
 
 class GridPartition:
     """A uniform ``nx x ny`` partition of a rectangular space.
@@ -226,6 +230,55 @@ class CircleStencil:
         dy_max = np.maximum(center.y - y0, y1 - center.y)
         min2 = dx_min[:, None] ** 2 + dy_min[None, :] ** 2
         max2 = dx_max[:, None] ** 2 + dy_max[None, :] ** 2
+        codes = np.full(min2.shape, _P_CODE, dtype=np.int8)
+        codes[min2 > self._r2] = _N_CODE
+        codes[max2 <= self._r2] = _F_CODE
+        return codes
+
+    def classify_centers(
+        self,
+        cx: np.ndarray,
+        cy: np.ndarray,
+        i_lo: np.ndarray,
+        j_lo: np.ndarray,
+        bi: int,
+        bj: int,
+    ) -> np.ndarray:
+        """Relation codes of many disks against many anchored blocks.
+
+        ``cx``/``cy`` are ``(G, p)`` disk centres — ``p`` waypoints per
+        each of ``G`` moving units — and ``i_lo``/``j_lo`` give each
+        unit's candidate-block anchor. All blocks share the padded shape
+        ``(bi, bj)``; returns int8 codes of shape ``(G, p, bi, bj)``.
+
+        The per-cell arithmetic is element-for-element the same as
+        :meth:`_classify_block` (cell edges derived from the same
+        integer column/row indices, the same min/max squared-distance
+        rules), so for any in-block cell the code is bit-identical to a
+        scalar classification of the same disk. Padding cells beyond a
+        unit's true block may receive non-N codes when they fall outside
+        the grid — callers must mask them out (the burst kernels carry a
+        per-unit validity mask for exactly this).
+        """
+        g = self.grid
+        cols = i_lo[:, None] + np.arange(bi)[None, :]
+        rows = j_lo[:, None] + np.arange(bj)[None, :]
+        x0 = g.space.xmin + cols * g.cell_width
+        x1 = x0 + g.cell_width
+        y0 = g.space.ymin + rows * g.cell_height
+        y1 = y0 + g.cell_height
+        cxe = cx[:, :, None]
+        cye = cy[:, :, None]
+        dx_min = np.maximum(
+            np.maximum(x0[:, None, :] - cxe, cxe - x1[:, None, :]), 0.0
+        )
+        dy_min = np.maximum(
+            np.maximum(y0[:, None, :] - cye, cye - y1[:, None, :]), 0.0
+        )
+        dx_max = np.maximum(cxe - x0[:, None, :], x1[:, None, :] - cxe)
+        dy_max = np.maximum(cye - y0[:, None, :], y1[:, None, :] - cye)
+        min2 = dx_min[:, :, :, None] ** 2 + dy_min[:, :, None, :] ** 2
+        max2 = dx_max[:, :, :, None] ** 2 + dy_max[:, :, None, :] ** 2
         codes = np.full(min2.shape, _P_CODE, dtype=np.int8)
         codes[min2 > self._r2] = _N_CODE
         codes[max2 <= self._r2] = _F_CODE

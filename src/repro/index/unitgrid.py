@@ -97,6 +97,36 @@ class UnitGridIndex:
         self._rows.setdefault(new_bucket, []).append(row)
         self._invalidate_bucket(new_bucket)
 
+    def move_many(
+        self,
+        rows: np.ndarray,
+        old_x: np.ndarray,
+        old_y: np.ndarray,
+        new_x: np.ndarray,
+        new_y: np.ndarray,
+    ) -> None:
+        """Re-bucket many rows at once (one burst's coalesced moves).
+
+        One vectorised pass computes every row's old and new bucket
+        column; only the rows that actually crossed a bucket border go
+        through the scalar remove/append path. End state is identical to
+        calling :meth:`move` per row in order — almost all moves stay
+        within their bucket, so the bucket-id arithmetic dominates the
+        scalar loop and is what this batches away.
+        """
+        old_bucket = self.bucket_columns(old_x, old_y)
+        new_bucket = self.bucket_columns(new_x, new_y)
+        for pos in np.flatnonzero(old_bucket != new_bucket).tolist():
+            row = int(rows[pos])
+            source = int(old_bucket[pos])
+            target = int(new_bucket[pos])
+            self._rows[source].remove(row)
+            if not self._rows[source]:
+                del self._rows[source]
+            self._invalidate_bucket(source)
+            self._rows.setdefault(target, []).append(row)
+            self._invalidate_bucket(target)
+
     def _invalidate_bucket(self, bucket: int) -> None:
         self._cache.pop(bucket, None)
         for key in sorted(self._blocks_of_bucket.pop(bucket, ())):

@@ -8,6 +8,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     deprecation,
     determinism,
     hygiene,
+    kernels,
     state,
     threads,
 )

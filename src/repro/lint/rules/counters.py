@@ -50,6 +50,15 @@ _own(
     ("repro.core.units",),
     "UnitKernelStats (owned by repro.core.units)",
 )
+#: shared by UnitKernelStats (chain applies in repro.core.units) and
+#: MonitorCounters (burst accounting in CTUPMonitor.apply_burst) — both
+#: count raw updates skipped by exact move coalescing.
+_own(
+    ("coalesced_updates",),
+    ("repro.core.monitor", "repro.core.metrics", "repro.core.units"),
+    "coalescing counters (owned by CTUPMonitor.apply_burst and the "
+    "UnitIndex chain applies)",
+)
 _own(
     ("shards_queried", "refills", "records_pulled"),
     ("repro.shard.merge",),

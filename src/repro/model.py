@@ -86,6 +86,50 @@ class LocationUpdate:
         return self.old_location.distance_to(self.new_location)
 
 
+@dataclass(frozen=True, slots=True)
+class CoalescedMove:
+    """All moves of one unit within one burst, as a waypoint chain.
+
+    Burst coalescing (:func:`repro.core.batch.coalesce_burst`) groups a
+    burst's updates by unit. The chain is contiguous — each update's
+    ``old_location`` is the previous update's ``new_location`` — so the
+    unit's trajectory inside the burst is fully described by the
+    ``raw_count + 1`` waypoints ``first_old, …, last_new``. Maintained
+    safety adjustments telescope over the chain (only the endpoints
+    matter), while Table I/II bound maintenance folds the per-step
+    transitions over all waypoints — see ``docs/architecture.md``.
+    """
+
+    unit_id: int
+    #: the raw updates, in arrival order.
+    raws: tuple[LocationUpdate, ...]
+
+    @property
+    def raw_count(self) -> int:
+        """Number of raw updates collapsed into this move."""
+        return len(self.raws)
+
+    @property
+    def first_old(self) -> Point:
+        """The unit's position before the burst."""
+        return self.raws[0].old_location
+
+    @property
+    def last_new(self) -> Point:
+        """The unit's position after the burst."""
+        return self.raws[-1].new_location
+
+    def waypoints(self) -> list[Point]:
+        """The ``raw_count + 1`` chain positions, oldest first."""
+        return [self.raws[0].old_location] + [
+            raw.new_location for raw in self.raws
+        ]
+
+    def steps(self) -> list[tuple[Point, Point]]:
+        """The per-update ``(old, new)`` transitions, oldest first."""
+        return [(raw.old_location, raw.new_location) for raw in self.raws]
+
+
 @dataclass(slots=True)
 class SafetyRecord:
     """A place together with its currently known safety.

@@ -44,7 +44,13 @@ from repro.core.config import CTUPConfig
 from repro.core.metrics import InitReport, MonitorCounters
 from repro.core.monitor import CTUPMonitor
 from repro.core.units import UnitKernelStats
-from repro.model import LocationUpdate, Place, SafetyRecord, Unit
+from repro.model import (
+    CoalescedMove,
+    LocationUpdate,
+    Place,
+    SafetyRecord,
+    Unit,
+)
 from repro.shard.merge import GlobalTopK, MergeStats
 from repro.shard.plan import ShardPlan, plan_for
 from repro.shard.router import ShardRouter
@@ -57,9 +63,12 @@ class _Shard:
 
     shard_id: int
     monitor: CTUPMonitor
-    #: ``(update, full)`` deliveries awaiting the next access phase;
-    #: ``full=False`` means only the unit-position sync is needed.
-    queue: list[tuple[LocationUpdate, bool]] = field(default_factory=list)
+    #: ``(delivery, full)`` pairs awaiting the next access phase — a
+    #: single update or a whole coalesced chain; ``full=False`` means
+    #: only the unit-position sync is needed.
+    queue: list[tuple[LocationUpdate | CoalescedMove, bool]] = field(
+        default_factory=list
+    )
 
 
 class ShardedMonitor(CTUPMonitor):
@@ -151,6 +160,38 @@ class ShardedMonitor(CTUPMonitor):
         self.sync_deliveries += len(self._shards) - len(targets)
         self._merge_cache = None
 
+    def _apply_burst(self, moves: Sequence[CoalescedMove]) -> int:
+        """Route each chain once, on the *union* of its per-step targets.
+
+        A shard outside every step's route keeps all its cells at ``N``
+        across every waypoint transition of the chain — no safety
+        change, no Table I/II action — so delivering the whole chain as
+        one unit-position sync is exact. A shard inside the union gets
+        the chain as one full delivery; its own burst maintain phase
+        only ever emits actions for cells inside some step's candidate
+        block (cells outside are ``N → N``, which no fold emits), so
+        the per-shard state is bit-identical to per-update routing.
+        Each step is still routed individually, keeping the router's
+        fanout statistics on raw-update granularity;
+        :attr:`full_deliveries` / :attr:`sync_deliveries`, by contrast,
+        count *deliveries made*, which coalescing genuinely reduces.
+        """
+        skipped = 0
+        for move in moves:
+            old = self.units.apply_chain(move.raws)
+            targets: set[int] = set()
+            step_old = old
+            for raw in move.raws:
+                targets.update(self.router.route(step_old, raw.new_location))
+                step_old = raw.new_location
+            for sh in self._shards:
+                sh.queue.append((move, sh.shard_id in targets))
+            self.full_deliveries += len(targets)
+            self.sync_deliveries += len(self._shards) - len(targets)
+            skipped += move.raw_count - 1
+        self._merge_cache = None
+        return skipped
+
     def _refresh(self) -> int:
         busy = [sh for sh in self._shards if sh.queue]
         if self.parallelism > 1 and len(busy) > 1:
@@ -164,15 +205,46 @@ class ShardedMonitor(CTUPMonitor):
         return accessed
 
     def _drain(self, shard: _Shard) -> int:
-        """Deliver a shard's queued updates (in arrival order) and run
-        its access phase if any delivery was full."""
+        """Deliver a shard's queued deliveries (in arrival order) and
+        run its access phase if any delivery was full.
+
+        Consecutive *full* chain deliveries are re-batched into one
+        ``apply_burst`` call on the shard monitor, so the per-shard
+        vectorised kernels see the widest burst the queue allows. The
+        batch is flushed at every ordering boundary — a sync delivery,
+        a plain update, or a second chain for a unit already in the
+        batch (possible when several top-level bursts are queued before
+        one access phase) — which preserves arrival order exactly.
+        """
         dirty = False
-        for update, full in shard.queue:
-            if full:
-                shard.monitor.apply_update(update)
+        burst: list[CoalescedMove] = []
+        burst_units: set[int] = set()
+
+        def flush() -> None:
+            if burst:
+                shard.monitor.apply_burst(burst)
+                burst.clear()
+                burst_units.clear()
+
+        for delivery, full in shard.queue:
+            if isinstance(delivery, CoalescedMove):
+                if full:
+                    if delivery.unit_id in burst_units:
+                        flush()
+                    burst.append(delivery)
+                    burst_units.add(delivery.unit_id)
+                    dirty = True
+                else:
+                    flush()
+                    shard.monitor.units.apply_chain(delivery.raws)
+            elif full:
+                flush()
+                shard.monitor.apply_update(delivery)
                 dirty = True
             else:
-                shard.monitor.units.apply(update)
+                flush()
+                shard.monitor.units.apply(delivery)
+        flush()
         shard.queue.clear()
         return shard.monitor.refresh() if dirty else 0
 

@@ -35,9 +35,16 @@ class TestConstruction:
 
 
 class TestProcessing:
-    def test_empty_batch_rejected(self, processor):
-        with pytest.raises(ValueError):
-            processor.process_batch([])
+    def test_empty_batch_is_noop(self, processor):
+        counters_before = processor.monitor.counters.snapshot()
+        report = processor.process_batch([])
+        assert report.batch_size == 0
+        assert report.coalesced_size == 0
+        assert report.unit_id is None
+        assert report.cells_accessed == 0
+        assert report.sk == processor.monitor.sk()
+        assert processor.batches_processed == 0
+        assert processor.monitor.counters == counters_before
 
     def test_bad_batch_size(self, processor, small_stream):
         with pytest.raises(ValueError):
@@ -49,9 +56,12 @@ class TestProcessing:
         for update in batch:
             small_oracle.apply(update)
         assert_valid_topk(small_oracle, processor.monitor, processor.monitor.config.k)
-        assert report.unit_id == batch[-1].unit_id
+        assert report.unit_id is None
+        assert report.batch_size == 20
+        assert 0 < report.coalesced_size <= 20
         assert processor.batches_processed == 1
         assert processor.updates_processed == 20
+        assert processor.moves_processed == report.coalesced_size
 
     @pytest.mark.parametrize("batch_size", [1, 3, 7, 50])
     def test_batched_equals_sequential(

@@ -487,6 +487,107 @@ class TestSnapshotCompleteness:
         assert codes_of(run_rules([fixture], "RPL008")) == []
 
 
+# -- RPL009: the burst kernels stay vectorised ---------------------------
+
+
+class TestKernelsVectorised:
+    def test_scalar_iterator_loop_fires(self):
+        fixture = src(
+            """
+            def apply(moves):
+                for pos in range(len(moves)):
+                    handle(moves[pos])
+            """,
+            module="repro.core.kernels",
+        )
+        result = run_rules([fixture], "RPL009")
+        assert codes_of(result) == ["RPL009"]
+        assert "range" in result.violations[0].message
+
+    def test_zip_enumerate_map_loops_fire(self):
+        fixture = src(
+            """
+            def apply(xs, ys):
+                for x, y in zip(xs, ys):
+                    handle(x, y)
+                for pos, x in enumerate(xs):
+                    handle(pos, x)
+                for x in map(float, xs):
+                    handle(x)
+            """,
+            module="repro.core.kernels",
+        )
+        assert codes_of(run_rules([fixture], "RPL009")) == [
+            "RPL009",
+            "RPL009",
+            "RPL009",
+        ]
+
+    def test_while_loop_fires(self):
+        fixture = src(
+            """
+            def drain(queue):
+                while queue:
+                    queue.pop()
+            """,
+            module="repro.core.kernels",
+        )
+        assert codes_of(run_rules([fixture], "RPL009")) == ["RPL009"]
+
+    def test_group_and_name_loops_are_clean(self):
+        fixture = src(
+            """
+            def apply(groups, cells):
+                for count, members in groups.items():
+                    handle(count, members)
+                for cell in cells:
+                    handle(cell)
+                matrix = [[w.x for w in chain] for chain in cells]
+                total = sum(m.raw_count for m in cells)
+                return matrix, total
+            """,
+            module="repro.core.kernels",
+        )
+        assert codes_of(run_rules([fixture], "RPL009")) == []
+
+    def test_comprehensions_over_scalar_iterators_are_clean(self):
+        # bounded setup idiom (LUT derivation, waypoint matrices) — only
+        # for/while *statements* are the shape the rule polices.
+        fixture = src(
+            """
+            PAIRS = [(code // 3, code % 3) for code in range(9)]
+            def widths(xs, ys):
+                return [x - y for x, y in zip(xs, ys)]
+            """,
+            module="repro.core.kernels",
+        )
+        assert codes_of(run_rules([fixture], "RPL009")) == []
+
+    def test_other_core_modules_are_out_of_scope(self):
+        fixture = src(
+            """
+            def apply(moves):
+                for pos in range(len(moves)):
+                    handle(moves[pos])
+            """,
+            module="repro.core.batch",
+        )
+        assert codes_of(run_rules([fixture], "RPL009")) == []
+
+    def test_suppression_with_reason_silences(self):
+        fixture = src(
+            """
+            def apply(xs, ys):
+                for x, y in zip(  # reprolint: disable=RPL009 -- per-cell dict application is irreducible
+                    xs, ys
+                ):
+                    handle(x, y)
+            """,
+            module="repro.core.kernels",
+        )
+        assert codes_of(run_rules([fixture], "RPL009")) == []
+
+
 # -- RPLT01: the typing gate --------------------------------------------
 
 
