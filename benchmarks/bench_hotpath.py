@@ -11,9 +11,15 @@ CLI (also wired into CI as a smoke job)::
 
     python benchmarks/bench_hotpath.py --smoke --check   # fast CI guard
     python benchmarks/bench_hotpath.py --write-baseline  # refresh baseline
+    python benchmarks/bench_hotpath.py --obs-overhead    # obs cost guard
 
-Running under pytest executes the smoke profile and the structural
-comparison against the committed baseline.
+``--obs-overhead`` is the observability-layer budget check: it runs the
+same stream with ``obs=None`` (the shipped disabled path — one
+``is None`` branch per phase) and with a null-sink ``Observability``
+bundle (every instrumentation call executes, into no-op twins), and
+fails when the min-of-repeats wall time diverges past the threshold
+(default 3%). Running under pytest executes the smoke profile and the
+structural comparison against the committed baseline.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import json
 import pathlib
 import platform
 import sys
+import time
 
 import numpy as np
 
@@ -122,6 +129,62 @@ def _speedup_lines(doc: dict) -> list[str]:
     return lines
 
 
+# -- observability overhead guard -----------------------------------------
+
+
+def _timed_session_run(workload, config, obs) -> float:
+    from repro.api import make_monitor
+    from repro.engine.session import MonitorSession
+
+    monitor = make_monitor(
+        "opt", places=workload.places, units=workload.units, config=config
+    )
+    session = MonitorSession(monitor, track_changes=False, obs=obs)
+    session.start()
+    start = time.perf_counter()
+    session.run(workload.stream)
+    return time.perf_counter() - start
+
+
+#: the overhead A/B needs a longer stream than the baseline smoke
+#: profile: a ~4 ms run cannot discriminate a 3% budget from scheduler
+#: noise, and this workload is not part of any committed baseline.
+_OVERHEAD_PARAMS = dict(n_units=200, n_places=2_000, stream_length=400, seed=7)
+
+
+def run_obs_overhead(
+    repeats: int = 7, threshold: float = 0.03
+) -> tuple[bool, str]:
+    """A/B the disabled-observability hot path against a null bundle.
+
+    Interleaves the two variants ``repeats`` times and compares the
+    fastest run of each — min-of-repeats is the standard way to strip
+    scheduler noise from a same-process A/B. Returns ``(ok, report)``.
+    """
+    from repro.obs.registry import NULL_REGISTRY
+    from repro.obs.spec import Observability
+    from repro.obs.trace import NULL_TRACER
+
+    workload = build_workload(**_OVERHEAD_PARAMS)
+    config = CTUPConfig(k=K)
+    null_bundle = Observability(registry=NULL_REGISTRY, tracer=NULL_TRACER)
+    off: list[float] = []
+    nulled: list[float] = []
+    _timed_session_run(workload, config, None)  # warm caches once
+    for _ in range(repeats):
+        off.append(_timed_session_run(workload, config, None))
+        nulled.append(_timed_session_run(workload, config, null_bundle))
+    ratio = min(nulled) / min(off) if min(off) else float("inf")
+    ok = ratio <= 1.0 + threshold
+    report = (
+        f"obs overhead: off {min(off) * 1e3:.1f} ms, "
+        f"null-bundle {min(nulled) * 1e3:.1f} ms, "
+        f"ratio {ratio:.3f} (budget {1.0 + threshold:.2f}) "
+        f"[min of {repeats}]"
+    )
+    return ok, report
+
+
 # -- pytest entry point (the CI smoke job runs this file directly) --------
 
 
@@ -167,7 +230,25 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the per-run brute-force top-k validation",
     )
+    parser.add_argument(
+        "--obs-overhead",
+        action="store_true",
+        help="run only the observability overhead A/B guard "
+        "(exit 1 past --obs-threshold)",
+    )
+    parser.add_argument(
+        "--obs-threshold",
+        type=float,
+        default=0.03,
+        help="allowed fractional slowdown of the null-bundle run "
+        "(default 0.03 = 3%%)",
+    )
     args = parser.parse_args(argv)
+
+    if args.obs_overhead:
+        ok, report = run_obs_overhead(threshold=args.obs_threshold)
+        print(report)
+        return 0 if ok else 1
 
     profiles = ["smoke"] if args.smoke else ["smoke", "default"]
     doc = run_bench(profiles, validate=not args.no_validate)

@@ -34,7 +34,7 @@ import sys
 import tempfile
 import time
 
-from repro.api import open_session
+from repro.api import DurabilitySpec, ShardSpec, open_session
 from repro.bench import build_workload
 from repro.bench.guard import (
     SCHEMA_VERSION,
@@ -92,11 +92,10 @@ def _open(workload, config, shards, directory, resume=False):
         places=workload.places,
         units=workload.units,
         config=config,
-        shards=shards,
+        shard=ShardSpec(shards=shards),
         batch_size=BATCH,
         track_changes=False,
-        checkpoint_dir=directory,
-        resume=resume,
+        durability=DurabilitySpec(directory, resume=resume),
     )
 
 

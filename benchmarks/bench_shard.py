@@ -39,7 +39,7 @@ from repro.bench.guard import (
 )
 from repro.core import CTUPConfig
 from repro.engine.session import MonitorSession
-from repro.api import make_monitor
+from repro.api import ShardSpec, make_monitor
 from repro.validate import Oracle
 
 BASELINE_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_shard.json"
@@ -96,8 +96,7 @@ def _run_mode(workload, config: CTUPConfig, shards: int, parallelism: int) -> di
         places=workload.places,
         units=workload.units,
         config=config,
-        shards=shards,
-        parallelism=parallelism,
+        shard=ShardSpec(shards=shards, parallelism=parallelism),
     )
     monitor.initialize()
     sharded = shards != 0

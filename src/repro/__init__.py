@@ -24,11 +24,19 @@ Quickstart (the ``repro.api`` facade is the supported entry point)::
     session.flush()
     print(session.monitor.top_k()[0])
 
-``make_monitor(..., shards=4)`` swaps in the sharded execution layer
-(:mod:`repro.shard`) behind the same contract.
+``make_monitor(..., shard=ShardSpec(shards=4))`` swaps in the sharded
+execution layer (:mod:`repro.shard`) behind the same contract, and
+``open_session(..., obs=ObsSpec(metrics=True))`` attaches the
+observability layer (:mod:`repro.obs`).
 """
 
-from repro.api import make_monitor, open_session
+from repro.api import (
+    DurabilitySpec,
+    ShardSpec,
+    make_monitor,
+    open_session,
+)
+from repro.obs import Observability, ObsSpec
 from repro.core import (
     BasicCTUP,
     ChangeTracker,
@@ -45,7 +53,7 @@ from repro.shard import GlobalTopK, ShardedMonitor, ShardPlan, ShardRouter
 from repro.validate import Oracle
 from repro.workloads import generate_places, generate_units
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CTUPConfig",
@@ -59,6 +67,10 @@ __all__ = [
     "GlobalTopK",
     "make_monitor",
     "open_session",
+    "ShardSpec",
+    "DurabilitySpec",
+    "ObsSpec",
+    "Observability",
     "MonitorSession",
     "ChangeTracker",
     "TopKChange",

@@ -5,9 +5,14 @@ constructors, :class:`~repro.engine.session.MonitorSession`,
 ``run_stream`` loops and ``ChangeTracker`` instances, each slightly
 differently. This facade gives them a single stable surface:
 
->>> from repro.api import open_session
+>>> from repro.api import ObsSpec, ShardSpec, open_session
 >>> session = open_session(
-...     "opt", places=places, units=units, config=CTUPConfig(k=10)
+...     "opt",
+...     places=places,
+...     units=units,
+...     config=CTUPConfig(k=10),
+...     shard=ShardSpec(shards=4, parallelism=2),
+...     obs=ObsSpec(metrics=True),
 ... )
 >>> session.start()
 >>> for update in stream:
@@ -15,14 +20,25 @@ differently. This facade gives them a single stable surface:
 >>> session.flush()
 >>> session.monitor.top_k()
 
+Options group by concern into small spec dataclasses rather than flat
+keyword sprawl: :class:`ShardSpec` (how the place set splits across
+shard monitors), :class:`DurabilitySpec` (journal + checkpoint
+directory, snapshot cadence, resume), and
+:class:`~repro.obs.ObsSpec` (metrics, tracing, the ``/metrics``
+endpoint). The pre-1.4 flat kwargs (``shards=``, ``checkpoint_dir=``,
+…) still work through a shim that emits ``DeprecationWarning``.
+
 :func:`make_monitor` builds any registered scheme — including the
-sharded wrapper (``shards=4``) — and :func:`open_session` wraps the
-monitor in a configured session, the one supported way to drive a
-stream (batching, change tracking, audits and hooks included).
+sharded wrapper (``"sharded"``, or any scheme plus a ``shard=`` spec) —
+and :func:`open_session` wraps the monitor in a configured session, the
+one supported way to drive a stream (batching, change tracking, audits,
+hooks and observability included).
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
@@ -35,6 +51,7 @@ from repro.core.opt import OptCTUP
 from repro.engine.hooks import MonitorHooks
 from repro.engine.session import MonitorSession
 from repro.model import Place, Unit
+from repro.obs.spec import Observability, ObsSpec, coerce_observability
 from repro.shard.monitor import ShardedMonitor
 from repro.shard.plan import ShardPlan
 from repro.state.recovery import (
@@ -43,30 +60,203 @@ from repro.state.recovery import (
     RecoveryManager,
 )
 
-#: every registered single-monitor scheme, by its benchmark-table name.
-SCHEMES: dict[str, Callable] = {
-    NaiveCTUP.name: NaiveCTUP,
-    BasicCTUP.name: BasicCTUP,
-    OptCTUP.name: OptCTUP,
-    IncrementalNaiveCTUP.name: IncrementalNaiveCTUP,
-}
+
+class _SchemeRegistry(dict):
+    """Registered single-monitor schemes, by benchmark-table name.
+
+    ====================  ==================================================
+    ``"naive"``           recompute the result from storage per update
+    ``"basic"``           BasicCTUP — dark cells with lower bounds (§III)
+    ``"opt"``             OptCTUP — bounds + DecHash/DOO suppression (§IV)
+    ``"incremental"``     incremental re-evaluation baseline
+    ``"sharded"``         the shard-parallel wrapper
+                          (:class:`~repro.shard.monitor.ShardedMonitor`) —
+                          a first-class entry path resolved by
+                          :func:`scheme_factory` and sized with
+                          ``shard=ShardSpec(shards=..., parallelism=...)``.
+                          It deliberately does not live in the mapping
+                          itself: iterating ``SCHEMES`` yields exactly the
+                          single-monitor schemes the equivalence suites
+                          parametrize over, and the wrapper composes with
+                          *any* of them.
+    ====================  ==================================================
+    """
+
+
+#: every registered single-monitor scheme, by its benchmark-table name
+#: (see ``SCHEMES.__doc__`` for the ``"sharded"`` entry path).
+SCHEMES: dict[str, Callable] = _SchemeRegistry(
+    {
+        NaiveCTUP.name: NaiveCTUP,
+        BasicCTUP.name: BasicCTUP,
+        OptCTUP.name: OptCTUP,
+        IncrementalNaiveCTUP.name: IncrementalNaiveCTUP,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """How the place set splits across shard monitors.
+
+    ``shards`` is 0 (unsharded, the default), a shard count, an explicit
+    :class:`~repro.shard.plan.ShardPlan`, or a per-linear-cell shard-id
+    sequence. ``parallelism`` > 1 drains shard queues on a thread pool;
+    ``strategy`` picks the cell→shard assignment (``striped`` /
+    ``interleaved`` / ``hashed`` / ``explicit``).
+    """
+
+    shards: int | Sequence[int] | ShardPlan = 0
+    parallelism: int = 0
+    strategy: str = "striped"
+
+    @property
+    def sharded(self) -> bool:
+        """Whether this spec asks for the sharded wrapper at all."""
+        return not (isinstance(self.shards, int) and self.shards == 0)
+
+
+@dataclass(frozen=True, slots=True)
+class DurabilitySpec:
+    """Journal + checkpoint directory attachment for a session.
+
+    Every ingested update is journaled under ``checkpoint_dir`` and
+    snapshots are written every ``every`` flush boundaries (plus one on
+    ``close()``). ``resume=False`` starts fresh — the run owns the
+    directory WAL-style and wipes stale state; ``resume=True`` recovers
+    it instead (restore latest snapshot, replay the journal tail,
+    return an already-started, bit-identical session).
+    """
+
+    checkpoint_dir: str | Path
+    every: int = 0
+    resume: bool = False
 
 
 def scheme_factory(scheme: str | Callable) -> Callable:
     """Resolve a scheme name (or pass a factory through).
 
     A factory is any callable ``(config, places, units) -> CTUPMonitor``
-    — the scheme classes themselves qualify.
+    — the scheme classes themselves qualify. The name ``"sharded"``
+    resolves to :class:`~repro.shard.monitor.ShardedMonitor`; size it by
+    passing ``shard=ShardSpec(shards=..., parallelism=...)`` to
+    :func:`make_monitor` / :func:`open_session`.
     """
     if callable(scheme):
         return scheme
+    if scheme == ShardedMonitor.name:
+        return ShardedMonitor
     try:
         return SCHEMES[scheme]
     except KeyError:
         raise ValueError(
-            f"unknown scheme {scheme!r}; pick one of {sorted(SCHEMES)} "
-            "or pass a factory"
+            f"unknown scheme {scheme!r}; pick one of {sorted(SCHEMES)}, "
+            f"{ShardedMonitor.name!r} (sized via shard=ShardSpec(shards=..., "
+            "parallelism=...)), or pass a factory "
+            "(config, places, units) -> CTUPMonitor"
         ) from None
+
+
+def _warn_flat_kwargs(caller: str, names: Sequence[str], spec: str) -> None:
+    """The pre-1.4 flat-kwarg deprecation shim (one warning per call)."""
+    warnings.warn(
+        f"{caller}: flat keyword argument(s) {', '.join(names)} are "
+        f"deprecated since 1.4; pass {spec} instead",
+        DeprecationWarning,
+        # _warn_flat_kwargs -> _coerce_* -> public facade fn -> caller
+        stacklevel=4,
+    )
+
+
+def _coerce_shard(
+    shard: "ShardSpec | int | Sequence[int] | ShardPlan | None",
+    shards: int | Sequence[int] | ShardPlan | None,
+    parallelism: int | None,
+    shard_strategy: str | None,
+    caller: str,
+) -> ShardSpec:
+    """Normalize the grouped ``shard=`` spec and the deprecated flats."""
+    flat = {
+        name: value
+        for name, value in (
+            ("shards", shards),
+            ("parallelism", parallelism),
+            ("shard_strategy", shard_strategy),
+        )
+        if value is not None
+    }
+    if flat:
+        if shard is not None:
+            raise TypeError(
+                f"{caller}: pass shard=ShardSpec(...) or the flat "
+                f"{sorted(flat)} kwargs, not both"
+            )
+        _warn_flat_kwargs(  # reprolint: disable=RPL005 -- this IS the sanctioned shim call site; external flat-kwarg callers get the warning from here
+            caller,
+            sorted(flat),
+            "shard=ShardSpec(shards=..., parallelism=..., strategy=...)",
+        )
+        return ShardSpec(
+            shards=shards if shards is not None else 0,
+            parallelism=parallelism if parallelism is not None else 0,
+            strategy=shard_strategy if shard_strategy is not None else "striped",
+        )
+    if shard is None:
+        return ShardSpec()
+    if isinstance(shard, ShardSpec):
+        return shard
+    return ShardSpec(shards=shard)
+
+
+def _coerce_durability(
+    durability: "DurabilitySpec | str | Path | None",
+    checkpoint_dir: str | Path | None,
+    checkpoint_every: int | None,
+    resume: bool | None,
+    caller: str,
+) -> DurabilitySpec | None:
+    """Normalize the grouped ``durability=`` spec and the deprecated flats."""
+    flat = {
+        name: value
+        for name, value in (
+            ("checkpoint_dir", checkpoint_dir),
+            ("checkpoint_every", checkpoint_every),
+            ("resume", resume),
+        )
+        if value is not None
+    }
+    if flat:
+        if durability is not None:
+            raise TypeError(
+                f"{caller}: pass durability=DurabilitySpec(...) or the flat "
+                f"{sorted(flat)} kwargs, not both"
+            )
+        _warn_flat_kwargs(  # reprolint: disable=RPL005 -- this IS the sanctioned shim call site; external flat-kwarg callers get the warning from here
+            caller,
+            sorted(flat),
+            "durability=DurabilitySpec(checkpoint_dir, every=..., resume=...)",
+        )
+        if checkpoint_dir is None:
+            # matches the pre-1.4 behavior: the other knobs were inert
+            # without a directory, except that resuming nothing is an error.
+            if resume:
+                raise ValueError("resume=True needs a checkpoint_dir")
+            return None
+        return DurabilitySpec(
+            checkpoint_dir=checkpoint_dir,
+            every=checkpoint_every if checkpoint_every is not None else 0,
+            resume=bool(resume),
+        )
+    if durability is None:
+        return None
+    if isinstance(durability, DurabilitySpec):
+        return durability
+    if isinstance(durability, (str, Path)):
+        return DurabilitySpec(checkpoint_dir=durability)
+    raise TypeError(
+        f"{caller}: durability= takes a DurabilitySpec or a checkpoint "
+        f"directory path (got {type(durability).__name__})"
+    )
 
 
 def make_monitor(
@@ -75,32 +265,56 @@ def make_monitor(
     places: Sequence[Place],
     units: Iterable[Unit],
     config: CTUPConfig | None = None,
-    shards: int | Sequence[int] | ShardPlan = 0,
-    parallelism: int = 0,
-    shard_strategy: str = "striped",
+    shard: "ShardSpec | int | Sequence[int] | ShardPlan | None" = None,
+    shards: int | Sequence[int] | ShardPlan | None = None,
+    parallelism: int | None = None,
+    shard_strategy: str | None = None,
 ) -> CTUPMonitor:
     """Build a monitor of any scheme, optionally sharded.
 
-    ``shards=0`` (the default) returns the plain scheme monitor;
-    anything else — a shard count, an explicit
+    ``shard=None`` (the default) returns the plain scheme monitor;
+    otherwise pass a :class:`ShardSpec` (or, as shorthand, just its
+    ``shards`` value — a count, an explicit
     :class:`~repro.shard.plan.ShardPlan`, or a per-cell shard-id
-    sequence — wraps the scheme in a
-    :class:`~repro.shard.monitor.ShardedMonitor` (with ``parallelism``
-    worker threads draining the shards when > 1). The returned monitor
-    is not yet initialized.
+    sequence) to wrap the scheme in a
+    :class:`~repro.shard.monitor.ShardedMonitor`. ``scheme="sharded"``
+    builds the wrapper directly over its default per-shard scheme. The
+    returned monitor is not yet initialized.
+
+    .. deprecated:: 1.4
+        The flat ``shards=`` / ``parallelism=`` / ``shard_strategy=``
+        kwargs; pass ``shard=ShardSpec(...)``.
     """
+    spec = _coerce_shard(shard, shards, parallelism, shard_strategy, "make_monitor")
     config = config if config is not None else CTUPConfig()
     factory = scheme_factory(scheme)
-    if isinstance(shards, int) and shards == 0:
+    if factory is ShardedMonitor:
+        if not spec.sharded:
+            return ShardedMonitor(
+                config,
+                places,
+                units,
+                parallelism=spec.parallelism,
+                strategy=spec.strategy,
+            )
+        return ShardedMonitor(
+            config,
+            places,
+            units,
+            shards=spec.shards,
+            parallelism=spec.parallelism,
+            strategy=spec.strategy,
+        )
+    if not spec.sharded:
         return factory(config, places, units)
     return ShardedMonitor(
         config,
         places,
         units,
-        shards=shards,
+        shards=spec.shards,
         scheme=factory,
-        parallelism=parallelism,
-        strategy=shard_strategy,
+        parallelism=spec.parallelism,
+        strategy=spec.strategy,
     )
 
 
@@ -111,54 +325,76 @@ def open_session(
     units: Iterable[Unit] | None = None,
     config: CTUPConfig | None = None,
     monitor: CTUPMonitor | None = None,
-    shards: int | Sequence[int] | ShardPlan = 0,
-    parallelism: int = 0,
-    shard_strategy: str = "striped",
+    shard: "ShardSpec | int | Sequence[int] | ShardPlan | None" = None,
+    durability: "DurabilitySpec | str | Path | None" = None,
+    obs: "ObsSpec | Observability | None" = None,
     batch_size: int = 0,
     audit_every: int = 0,
-    hooks: Sequence[MonitorHooks] = (),
+    hooks: MonitorHooks | Sequence[MonitorHooks] = (),
     track_changes: bool = True,
+    shards: int | Sequence[int] | ShardPlan | None = None,
+    parallelism: int | None = None,
+    shard_strategy: str | None = None,
     checkpoint_dir: str | Path | None = None,
-    checkpoint_every: int = 0,
-    resume: bool = False,
+    checkpoint_every: int | None = None,
+    resume: bool | None = None,
 ) -> MonitorSession:
     """A configured :class:`MonitorSession`, ready to ``start()``.
 
-    Either pass ``places`` + ``units`` (plus the scheme/shard knobs of
-    :func:`make_monitor`) to build the monitor here, or pass an existing
-    ``monitor`` — e.g. one restored from a checkpoint — to adopt it.
-    The session knobs (``batch_size``, ``audit_every``, ``hooks``,
-    ``track_changes``) are forwarded unchanged.
+    Either pass ``places`` + ``units`` (plus ``scheme`` and an optional
+    ``shard=`` :class:`ShardSpec`) to build the monitor here, or pass an
+    existing ``monitor`` — e.g. one restored from a checkpoint — to
+    adopt it. The session knobs (``batch_size``, ``audit_every``,
+    ``hooks`` — a sequence or one bare hook — and ``track_changes``)
+    are forwarded unchanged.
 
-    ``checkpoint_dir`` attaches durable state: every update is
-    journaled there and snapshots are written every
-    ``checkpoint_every`` flush boundaries (plus one on ``close()``).
-    A fresh (non-resuming) start wipes whatever the directory held —
-    the run owns it WAL-style. With ``resume=True`` the directory is
-    recovered instead: the latest snapshot is restored, the journal
-    tail replayed, and the returned session is **already started** and
+    ``durability=`` attaches durable state per its
+    :class:`DurabilitySpec` (a bare path means "journal here, no
+    periodic snapshots"). A fresh (non-resuming) start wipes whatever
+    the directory held — the run owns it WAL-style. With
+    ``DurabilitySpec(..., resume=True)`` the directory is recovered
+    instead: the latest snapshot is restored, the journal tail
+    replayed, and the returned session is **already started** and
     bit-identical to the uninterrupted run. On resume, the snapshot's
     recorded scheme and config win over the arguments (they describe
     the run being continued); pass the same ``batch_size`` the original
     run used, and a callable ``scheme`` to act as the factory for
     unregistered schemes.
+
+    ``obs=`` attaches observability per its
+    :class:`~repro.obs.ObsSpec` (or an already-built
+    :class:`~repro.obs.Observability` to share a registry across
+    sessions): registry metrics bridge the monitor's ledgers, spans
+    trace phases / kernels / shard drains / journal I/O, and a serve
+    port runs a ``/metrics`` endpoint for the session's lifetime.
+
+    .. deprecated:: 1.4
+        The flat ``shards=`` / ``parallelism=`` / ``shard_strategy=`` /
+        ``checkpoint_dir=`` / ``checkpoint_every=`` / ``resume=``
+        kwargs; pass ``shard=ShardSpec(...)`` and
+        ``durability=DurabilitySpec(...)``.
     """
-    if resume:
-        if checkpoint_dir is None:
-            raise ValueError("resume=True needs a checkpoint_dir")
+    shard_spec = _coerce_shard(
+        shard, shards, parallelism, shard_strategy, "open_session"
+    )
+    dura = _coerce_durability(
+        durability, checkpoint_dir, checkpoint_every, resume, "open_session"
+    )
+    bundle = coerce_observability(obs)
+    if dura is not None and dura.resume:
         if monitor is not None:
             raise ValueError("resume=True builds its own monitor")
         if places is None or units is None:
             raise ValueError("resume needs the original places + units")
         policy = CheckpointPolicy(
-            directory=checkpoint_dir, every_batches=checkpoint_every
+            directory=dura.checkpoint_dir, every_batches=dura.every
         )
         manager = RecoveryManager(
             policy,
             places=places,
             units=units,
             factory=scheme if callable(scheme) else None,
-            parallelism=parallelism,
+            parallelism=shard_spec.parallelism,
         )
         return manager.resume_session(
             fresh_monitor=lambda: make_monitor(
@@ -166,14 +402,13 @@ def open_session(
                 places=places,
                 units=units,
                 config=config,
-                shards=shards,
-                parallelism=parallelism,
-                shard_strategy=shard_strategy,
+                shard=shard_spec,
             ),
             batch_size=batch_size,
             audit_every=audit_every,
             hooks=hooks,
             track_changes=track_changes,
+            obs=bundle,
         )
     if monitor is None:
         if places is None or units is None:
@@ -185,19 +420,17 @@ def open_session(
             places=places,
             units=units,
             config=config,
-            shards=shards,
-            parallelism=parallelism,
-            shard_strategy=shard_strategy,
+            shard=shard_spec,
         )
     elif places is not None or units is not None:
         raise ValueError("pass either a monitor or places/units, not both")
     policy_arg: CheckpointPolicy | None = None
-    if checkpoint_dir is not None:
+    if dura is not None:
         # a fresh run owns the directory: stale snapshots or journal
         # records from an earlier run must not leak into this one.
-        CheckpointStore(checkpoint_dir).wipe()
+        CheckpointStore(dura.checkpoint_dir).wipe()
         policy_arg = CheckpointPolicy(
-            directory=checkpoint_dir, every_batches=checkpoint_every
+            directory=dura.checkpoint_dir, every_batches=dura.every
         )
     return MonitorSession(
         monitor,
@@ -206,6 +439,7 @@ def open_session(
         hooks=hooks,
         track_changes=track_changes,
         checkpoint=policy_arg,
+        obs=bundle,
     )
 
 
@@ -214,6 +448,10 @@ __all__ = [
     "scheme_factory",
     "make_monitor",
     "open_session",
+    "ShardSpec",
+    "DurabilitySpec",
+    "ObsSpec",
+    "Observability",
     "CheckpointPolicy",
     "MonitorSession",
     "RecoveryManager",

@@ -122,6 +122,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="recover --checkpoint-dir and continue the interrupted run "
         "(pass the same scenario knobs and --batch-size)",
     )
+    simulate.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect registry metrics and print the Prometheus text "
+        "exposition after the run",
+    )
+    simulate.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="trace phases/kernels/shard drains and write a Chrome "
+        "trace (chrome://tracing JSON) to PATH",
+    )
 
     checkpoint = sub.add_parser(
         "checkpoint",
@@ -200,7 +213,7 @@ def _cmd_report(out: str, scale: float | None, seed: int, only) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from repro.api import make_monitor
+    from repro.api import ObsSpec, ShardSpec, make_monitor
     from repro.sim import Simulation
 
     def factory(config, places, units):
@@ -209,13 +222,19 @@ def _cmd_simulate(args) -> int:
             places=places,
             units=units,
             config=config,
-            shards=args.shards,
-            parallelism=args.parallelism,
+            shard=ShardSpec(
+                shards=args.shards, parallelism=args.parallelism
+            ),
         )
 
     if args.resume and args.checkpoint_dir is None:
         print("--resume needs --checkpoint-dir", file=sys.stderr)
         return 2
+    obs_spec = None
+    if args.metrics or args.trace_out is not None:
+        obs_spec = ObsSpec(
+            metrics=args.metrics, trace=args.trace_out is not None
+        )
     sim = Simulation.from_scenario(
         args.scenario,
         k=args.k,
@@ -227,6 +246,7 @@ def _cmd_simulate(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        obs=obs_spec,
     )
     if args.resume:
         print(
@@ -235,6 +255,17 @@ def _cmd_simulate(args) -> int:
             f"(journal seq {sim.session.applied_seq})"
         )
     outcome = sim.run(updates=args.updates)
+    if args.trace_out is not None:
+        from repro.obs import write_chrome_trace
+
+        tracer = sim.session.observability.tracer
+        written = write_chrome_trace(tracer.spans(), args.trace_out)
+        print(
+            f"wrote {written} trace event(s) to {args.trace_out} "
+            f"({tracer.emitted} emitted)",
+            file=sys.stderr,
+        )
+    metrics_text = sim.session.metrics_text() if args.metrics else None
     if args.checkpoint_dir is not None:
         sim.session.close()
     summary = outcome.summary
@@ -262,6 +293,11 @@ def _cmd_simulate(args) -> int:
 
         print()
         print(render_cell_map(sim.monitor))
+    if metrics_text is not None:
+        # last on stdout, contiguous from the first "# HELP" line, so
+        # scrape-style consumers can slice it off the dashboard output.
+        print()
+        print(metrics_text, end="")
     return 0
 
 

@@ -130,6 +130,7 @@ class BasicCTUP(CTUPMonitor):
                 self.sk,
                 self._illuminate,
                 skip_illuminated=True,
+                obs=self.obs,
             )
         else:
             accessed = self._illuminate_below_sk()

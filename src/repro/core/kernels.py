@@ -56,6 +56,7 @@ from repro.model import CoalescedMove, Point
 if TYPE_CHECKING:
     from repro.core.basic import BasicCTUP
     from repro.core.opt import OptCTUP
+    from repro.obs.spec import Observability
 
 _CODE_OF_REL = {rel: code for code, rel in RELATION_OF_CODE.items()}
 
@@ -380,8 +381,18 @@ def apply_burst_basic(
     """BasicCTUP's maintain phase for one coalesced burst, vectorised.
 
     Returns the raw updates skipped by coalescing (chain length minus
-    one per chain), mirroring the scalar coalesced path.
+    one per chain), mirroring the scalar coalesced path. Observability
+    wraps the whole pass in one span (RPL010: instrumentation only at
+    pass boundaries, never inside the kernels' loops).
     """
+    obs = monitor.obs
+    if obs is None:
+        return _burst_basic(monitor, moves)
+    with obs.tracer.span("kernel.burst_basic", cat="kernel", moves=len(moves)):
+        return _burst_basic(monitor, moves)
+
+
+def _burst_basic(monitor: "BasicCTUP", moves: Sequence[CoalescedMove]) -> int:
     olds = monitor.units.apply_moves(moves)
     _maintained_endpoint_pass(monitor, moves, olds)
     _table1_pass(monitor, moves, olds, skip_illuminated=True)
@@ -393,8 +404,18 @@ def apply_burst_opt(monitor: "OptCTUP", moves: Sequence[CoalescedMove]) -> int:
 
     With DOO disabled (the Fig. 8 ablation) bounds follow Table I and
     the aggregation kernel applies unchanged — OptCTUP never illuminates
-    cells, so the eligibility filter is membership only.
+    cells, so the eligibility filter is membership only. Observability
+    wraps the whole pass in one span (RPL010: instrumentation only at
+    pass boundaries, never inside the kernels' loops).
     """
+    obs = monitor.obs
+    if obs is None:
+        return _burst_opt(monitor, moves)
+    with obs.tracer.span("kernel.burst_opt", cat="kernel", moves=len(moves)):
+        return _burst_opt(monitor, moves)
+
+
+def _burst_opt(monitor: "OptCTUP", moves: Sequence[CoalescedMove]) -> int:
     olds = monitor.units.apply_moves(moves)
     _maintained_endpoint_pass(monitor, moves, olds)
     if monitor.config.use_doo:
@@ -413,6 +434,7 @@ def refill_below_sk(
     access: Callable[[CellId], None],
     *,
     skip_illuminated: bool,
+    obs: "Observability | None" = None,
 ) -> int:
     """Access every cell whose bound dipped below SK, in one sorted walk.
 
@@ -429,8 +451,28 @@ def refill_below_sk(
     fresh bound is ≥ the SK that admitted them (illuminated cells are
     excluded outright for BasicCTUP).
 
-    Returns the number of cells accessed.
+    Returns the number of cells accessed. Observability wraps the
+    whole sweep in one span (RPL010: pass boundaries only).
     """
+    if obs is not None:
+        with obs.tracer.span(
+            "kernel.refill", cat="kernel", cells=len(cell_states)
+        ):
+            return _refill_below_sk(
+                cell_states, sk_of, access, skip_illuminated=skip_illuminated
+            )
+    return _refill_below_sk(
+        cell_states, sk_of, access, skip_illuminated=skip_illuminated
+    )
+
+
+def _refill_below_sk(
+    cell_states: dict[CellId, CellState],
+    sk_of: Callable[[], float],
+    access: Callable[[CellId], None],
+    *,
+    skip_illuminated: bool,
+) -> int:
     if not cell_states:
         return 0
     cells = list(cell_states)

@@ -33,7 +33,10 @@ from __future__ import annotations
 import abc
 import time
 import warnings
-from typing import Any, ClassVar, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, ClassVar, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.spec import Observability
 
 from repro.core.config import CTUPConfig
 from repro.core.metrics import InitReport, MonitorCounters, UpdateReport
@@ -77,7 +80,7 @@ class CTUPMonitor(abc.ABC):
     #: :attr:`TRANSIENT_FIELDS`.
     STATE_FIELDS: ClassVar[tuple[str, ...]] = ("units", "counters")
     #: fields rebuilt (not serialized) on restore.
-    TRANSIENT_FIELDS: ClassVar[tuple[str, ...]] = ("_initialized",)
+    TRANSIENT_FIELDS: ClassVar[tuple[str, ...]] = ("_initialized", "obs")
 
     def __init__(
         self,
@@ -107,6 +110,10 @@ class CTUPMonitor(abc.ABC):
                 f"{self.units.protection_range}"
             )
         self.counters = MonitorCounters()
+        #: optional observability bundle; attached from outside via
+        #: :func:`repro.obs.attach_observability` (never serialized).
+        #: The hot path pays one ``is None`` check when detached.
+        self.obs: "Observability | None" = None
         self._initialized = False
 
     # -- scheme hooks (the phase API) -----------------------------------
@@ -176,6 +183,8 @@ class CTUPMonitor(abc.ABC):
         elapsed = time.perf_counter() - start
         self.counters.time_init_s = elapsed
         self._initialized = True
+        if self.obs is not None:
+            self.obs.phase(self.name, "initialize", start, elapsed)
         return self._init_report(elapsed)
 
     def _init_report(self, elapsed: float) -> InitReport:
@@ -201,8 +210,11 @@ class CTUPMonitor(abc.ABC):
         self._require_initialized()
         start = time.perf_counter()
         self._apply(update)
+        elapsed = time.perf_counter() - start
         self.counters.updates_processed += 1
-        self.counters.time_maintain_s += time.perf_counter() - start
+        self.counters.time_maintain_s += elapsed
+        if self.obs is not None:
+            self.obs.phase(self.name, "maintain", start, elapsed)
 
     def apply_burst(self, moves: Sequence[CoalescedMove]) -> None:
         """Run the maintain phase for one coalesced burst (public phase API).
@@ -217,9 +229,14 @@ class CTUPMonitor(abc.ABC):
         self._require_initialized()
         start = time.perf_counter()
         skipped = self._apply_burst(moves)
+        elapsed = time.perf_counter() - start
         self.counters.updates_processed += sum(m.raw_count for m in moves)
         self.counters.coalesced_updates += skipped
-        self.counters.time_maintain_s += time.perf_counter() - start
+        self.counters.time_maintain_s += elapsed
+        if self.obs is not None:
+            self.obs.phase(
+                self.name, "maintain_burst", start, elapsed, moves=len(moves)
+            )
 
     def _apply_burst(self, moves: Sequence[CoalescedMove]) -> int:
         """Maintain phase for a coalesced burst; returns updates skipped.
@@ -243,10 +260,13 @@ class CTUPMonitor(abc.ABC):
         self._require_initialized()
         start = time.perf_counter()
         accessed = self._refresh()
-        self.counters.time_access_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.counters.time_access_s += elapsed
         self.counters.maintained_peak = max(
             self.counters.maintained_peak, self.maintained_count()
         )
+        if self.obs is not None:
+            self.obs.phase(self.name, "access", start, elapsed, accessed=accessed)
         return accessed
 
     def process(self, update: LocationUpdate) -> UpdateReport:

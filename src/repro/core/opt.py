@@ -198,6 +198,7 @@ class OptCTUP(CTUPMonitor):
                 self.sk,
                 self._access_cell,
                 skip_illuminated=False,
+                obs=self.obs,
             )
         return self._access_below_sk()
 

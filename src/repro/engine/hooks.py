@@ -54,9 +54,15 @@ class MonitorHooks:
 
 
 class HookList(MonitorHooks):
-    """Fans every event out to an ordered list of hooks."""
+    """Fans every event out to an ordered list of hooks.
 
-    def __init__(self, hooks: Sequence[MonitorHooks] = ()) -> None:
+    Accepts either a sequence of hooks or one bare :class:`MonitorHooks`
+    (the common single-hook case needs no wrapping tuple).
+    """
+
+    def __init__(self, hooks: MonitorHooks | Sequence[MonitorHooks] = ()) -> None:
+        if isinstance(hooks, MonitorHooks):
+            hooks = (hooks,)
         self.hooks: list[MonitorHooks] = list(hooks)
 
     def add(self, hook: MonitorHooks) -> None:

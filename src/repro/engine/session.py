@@ -19,7 +19,7 @@ objects rather than by editing the loop.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.audit import audit_monitor
 from repro.core.batch import BatchProcessor
@@ -32,6 +32,10 @@ from repro.state.journal import JournalRecord, UpdateJournal
 from repro.state.recovery import CheckpointPolicy, CheckpointStore
 from repro.state.snapshot import snapshot_monitor
 
+if TYPE_CHECKING:
+    from repro.obs.expo import MetricsServer
+    from repro.obs.spec import Observability
+
 
 class MonitorSession:
     """A monitor plus batching, change tracking, audits and hooks."""
@@ -42,10 +46,11 @@ class MonitorSession:
         *,
         batch_size: int = 0,
         audit_every: int = 0,
-        hooks: Sequence[MonitorHooks] = (),
+        hooks: MonitorHooks | Sequence[MonitorHooks] = (),
         track_changes: bool = True,
         checkpoint: CheckpointPolicy | None = None,
         coalesce: bool = True,
+        obs: "Observability | None" = None,
     ) -> None:
         """``batch_size`` > 0 buffers updates and flushes them through
         the phase API as exact bursts; each burst is move-coalesced
@@ -64,7 +69,15 @@ class MonitorSession:
         session *appends* to whatever journal the directory holds —
         wiping stale state from an earlier, unrelated run is the
         caller's job (``repro.api.open_session`` does it on any
-        non-resuming start)."""
+        non-resuming start).
+
+        ``hooks`` is a sequence of :class:`MonitorHooks` or one bare
+        hook. ``obs`` attaches a live :class:`~repro.obs.Observability`
+        bundle: the monitor (and any shard children), the journal and
+        the hook bus are instrumented, and when the bundle carries a
+        serve port a ``/metrics`` endpoint runs for the session's
+        lifetime (pass ``obs=ObsSpec(...)`` to ``open_session`` to build
+        the bundle)."""
         if batch_size < 0:
             raise ValueError("batch_size cannot be negative")
         if audit_every < 0:
@@ -97,6 +110,24 @@ class MonitorSession:
         self._applied_seq = 0
         self._flushes_done = 0
         self._replaying = False
+        self.observability = obs
+        self._metrics_server: "MetricsServer | None" = None
+        if obs is not None:
+            # local imports: repro.obs sits above repro.engine's core
+            # dependencies; importing it lazily keeps the layering loose.
+            from repro.obs.bridge import attach_observability
+            from repro.obs.hooks import ObservabilityHooks
+
+            attach_observability(monitor, obs)
+            if self._journal is not None:
+                self._journal.attach_observability(obs)
+            self.hooks.add(ObservabilityHooks(obs))
+            if obs.serve_port is not None:
+                from repro.obs.expo import MetricsServer
+
+                self._metrics_server = MetricsServer(
+                    obs.registry, port=obs.serve_port, sync=obs.sync
+                ).start()
 
     # -- wiring -----------------------------------------------------------
 
@@ -130,6 +161,36 @@ class MonitorSession:
     def pending_updates(self) -> int:
         """Updates buffered but not yet flushed (0 in single mode)."""
         return len(self._pending)
+
+    # -- observability ----------------------------------------------------
+
+    @property
+    def metrics_server(self) -> "MetricsServer | None":
+        """The running ``/metrics`` endpoint (``None`` unless serving)."""
+        return self._metrics_server
+
+    def sync_metrics(self) -> None:
+        """Refresh the bridged ledger gauges from the monitor's counters."""
+        if self.observability is not None:
+            self.observability.sync()
+
+    def metrics_text(self) -> str:
+        """The registry in Prometheus text format (synced first)."""
+        if self.observability is None:
+            raise RuntimeError("session has no observability attached")
+        from repro.obs.expo import render_prometheus
+
+        self.observability.sync()
+        return render_prometheus(self.observability.registry)
+
+    def metrics_json(self) -> dict[str, object]:
+        """A plain-dict snapshot of the registry (synced first)."""
+        if self.observability is None:
+            raise RuntimeError("session has no observability attached")
+        from repro.obs.expo import json_dump
+
+        self.observability.sync()
+        return json_dump(self.observability.registry)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -185,7 +246,14 @@ class MonitorSession:
         if self._batcher is None or not self._pending:
             return None
         batch, self._pending = self._pending, []
-        report = self._batcher.process_batch(batch)
+        obs = self.observability
+        if obs is None:
+            report = self._batcher.process_batch(batch)
+        else:
+            with obs.tracer.span(
+                "session.flush", cat="session", updates=len(batch)
+            ):
+                report = self._batcher.process_batch(batch)
         self._complete(batch, report, batched=True)
         # the marker is written *after* the burst applied: a snapshot at
         # this seq never refers into the middle of a batch.
@@ -215,12 +283,27 @@ class MonitorSession:
         if self._checkpoint_store is None:
             raise RuntimeError("session has no checkpoint policy")
         self.flush()
-        document = snapshot_monitor(
-            self.monitor,
-            journal_seq=self._applied_seq,
-            session={"updates_processed": self.updates_processed},
-        )
-        return self._checkpoint_store.write_snapshot(document)
+        obs = self.observability
+        if obs is None:
+            document = snapshot_monitor(
+                self.monitor,
+                journal_seq=self._applied_seq,
+                session={"updates_processed": self.updates_processed},
+            )
+            return self._checkpoint_store.write_snapshot(document)
+        with obs.tracer.span(
+            "checkpoint.write", cat="state", seq=self._applied_seq
+        ):
+            document = snapshot_monitor(
+                self.monitor,
+                journal_seq=self._applied_seq,
+                session={"updates_processed": self.updates_processed},
+            )
+            path = self._checkpoint_store.write_snapshot(document)
+        obs.registry.counter(
+            "ctup_checkpoints_total", "Checkpoint snapshots written."
+        ).inc()
+        return path
 
     def adopt_resume_state(
         self, *, updates_processed: int, applied_seq: int
@@ -260,7 +343,8 @@ class MonitorSession:
 
     def close(self) -> None:
         """Flush, write the on-close snapshot if the policy asks for
-        one, and release the journal handle (idempotent)."""
+        one, stop the metrics endpoint, and release the journal handle
+        (idempotent)."""
         self.flush()
         if (
             self.checkpoint_policy is not None
@@ -269,6 +353,9 @@ class MonitorSession:
             and self.monitor.initialized
         ):
             self.checkpoint()
+        if self._metrics_server is not None:
+            self._metrics_server.stop()
+            self._metrics_server = None
         if self._journal is not None:
             self._journal.close()
 

@@ -201,6 +201,14 @@ class ProjectIndex:
         ):
             return
         value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and len(value.args) == 1
+            and not value.keywords
+        ):
+            # `SCHEMES = _SchemeRegistry({...})` — a dict subclass whose
+            # class docstring documents the entries; index the literal.
+            value = value.args[0]
         if not isinstance(value, ast.Dict):
             return
         for entry in value.values:

@@ -9,6 +9,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     determinism,
     hygiene,
     kernels,
+    obs,
     state,
     threads,
 )

@@ -1,0 +1,113 @@
+"""Bridging the monitor's native ledgers into registry metrics.
+
+The schemes already account for their work in dataclass ledgers —
+``MonitorCounters`` on the monitor, ``IoStats`` on the place store,
+``UnitKernelStats`` on the unit index, ``MergeStats`` on the sharded
+merger.  Those stay the source of truth; the bridge *mirrors* them into
+registry gauges (named ``ctup_<ledger>_<field>`` with a ``scheme``
+label) on demand, so a ``/metrics`` scrape always reconciles exactly
+with what the Python API reports.
+
+``attach_observability`` is the one sanctioned way to hang an
+:class:`~repro.obs.spec.Observability` bundle on a monitor: monitors
+are snapshottable (RPL008 audits ``self.<attr>`` mutations outside
+``__init__``), so the transient ``obs`` handle is assigned from out
+here rather than from monitor methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.monitor import CTUPMonitor
+    from repro.obs.registry import MetricsRegistry, NullRegistry
+    from repro.obs.spec import Observability
+
+__all__ = ["attach_observability", "sync_monitor_metrics"]
+
+
+def attach_observability(monitor: "CTUPMonitor", obs: "Observability") -> None:
+    """Attach the bundle to a monitor (and any shard children).
+
+    Also registers a sync callback so every exposition snapshot
+    refreshes the bridged ledger gauges first.
+    """
+    monitor.obs = obs
+    for shard in getattr(monitor, "shards", ()):
+        shard.monitor.obs = obs
+    obs.add_sync(lambda: sync_monitor_metrics(obs.registry, monitor))
+
+
+def _mirror(
+    registry: "MetricsRegistry | NullRegistry",
+    name: str,
+    help: str,
+    scheme: str,
+    ledger: object,
+) -> None:
+    family = registry.gauge(name, help, labelnames=("scheme", "field"))
+    for f in fields(ledger):  # type: ignore[arg-type]
+        family.labels(scheme=scheme, field=f.name).set(float(getattr(ledger, f.name)))
+
+
+def sync_monitor_metrics(
+    registry: "MetricsRegistry | NullRegistry", monitor: "CTUPMonitor"
+) -> None:
+    """Mirror the monitor's ledgers into registry gauges, field by field.
+
+    For a :class:`~repro.shard.monitor.ShardedMonitor` the *merged*
+    ledgers are mirrored (that is where the monitoring work lives — the
+    top-level counters only track stream totals), plus the merger stats
+    and the routing delivery counters.
+    """
+    if not registry.enabled:
+        return
+    scheme = monitor.name
+    merged_counters = getattr(monitor, "merged_counters", None)
+    if callable(merged_counters):
+        counters = merged_counters()
+        io = monitor.merged_io()  # type: ignore[attr-defined]
+        unit_stats = monitor.merged_unit_stats()  # type: ignore[attr-defined]
+    else:
+        counters = monitor.counters
+        io = monitor.store.io_stats
+        unit_stats = monitor.units.stats
+    _mirror(
+        registry,
+        "ctup_monitor_counters",
+        "MonitorCounters ledger, mirrored field by field.",
+        scheme,
+        counters,
+    )
+    _mirror(
+        registry,
+        "ctup_io_stats",
+        "IoStats page-level I/O ledger, mirrored field by field.",
+        scheme,
+        io,
+    )
+    _mirror(
+        registry,
+        "ctup_unit_kernel_stats",
+        "UnitKernelStats prefilter ledger, mirrored field by field.",
+        scheme,
+        unit_stats,
+    )
+    merger = getattr(monitor, "merger", None)
+    if merger is not None:
+        _mirror(
+            registry,
+            "ctup_merge_stats",
+            "Global top-k MergeStats ledger, mirrored field by field.",
+            scheme,
+            merger.stats,
+        )
+        deliveries = registry.gauge(
+            "ctup_shard_deliveries",
+            "Routing outcomes: full (maintain+access) vs sync-only deliveries.",
+            labelnames=("kind",),
+        )
+        deliveries.labels(kind="full").set(float(monitor.full_deliveries))  # type: ignore[attr-defined]
+        deliveries.labels(kind="sync").set(float(monitor.sync_deliveries))  # type: ignore[attr-defined]

@@ -1,0 +1,310 @@
+"""Exposition: Prometheus text format, JSON snapshots, /metrics server.
+
+``render_prometheus`` emits text-format 0.0.4 (``# HELP``/``# TYPE``
+preamble per family, escaped label values, cumulative ``_bucket``
+series with a ``+Inf`` bound plus ``_sum``/``_count`` for histograms).
+``parse_prometheus`` is the validating inverse used by the tests and
+the CI obs-smoke job.  ``MetricsServer`` serves both formats from a
+stdlib ``ThreadingHTTPServer`` on a daemon thread.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Callable
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import NullRegistry
+
+__all__ = [
+    "MetricsServer",
+    "json_dump",
+    "parse_prometheus",
+    "render_prometheus",
+]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _render_labels(labelnames: tuple[str, ...], labelvalues: tuple[str, ...], extra: str = "") -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: "MetricsRegistry | NullRegistry") -> str:
+    """Render the registry in Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labelvalues, child in family.children():
+            if isinstance(child, Histogram):
+                cumulative = child.cumulative()
+                for bound, count in zip(child.buckets, cumulative):
+                    labels = _render_labels(
+                        family.labelnames,
+                        labelvalues,
+                        extra=f'le="{_format_value(bound)}"',
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {count}")
+                labels = _render_labels(family.labelnames, labelvalues, extra='le="+Inf"')
+                lines.append(f"{family.name}_bucket{labels} {child.count}")
+                labels = _render_labels(family.labelnames, labelvalues)
+                lines.append(f"{family.name}_sum{labels} {_format_value(child.total)}")
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                labels = _render_labels(family.labelnames, labelvalues)
+                lines.append(f"{family.name}{labels} {_format_value(child.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def json_dump(registry: "MetricsRegistry | NullRegistry") -> dict[str, object]:
+    """A plain-dict snapshot of every family (histograms expanded)."""
+    metrics: dict[str, object] = {}
+    for family in registry.families():
+        samples: list[dict[str, object]] = []
+        for labelvalues, child in family.children():
+            labels = dict(zip(family.labelnames, labelvalues))
+            if isinstance(child, Histogram):
+                samples.append(
+                    {
+                        "labels": labels,
+                        "buckets": dict(
+                            zip(
+                                [_format_value(b) for b in child.buckets],
+                                child.cumulative(),
+                            )
+                        ),
+                        "sum": child.total,
+                        "count": child.count,
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        metrics[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "samples": samples,
+        }
+    return {"metrics": metrics}
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+_VALID_KINDS = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+def _parse_value(token: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    return float(token)
+
+
+def _parse_labels(raw: str) -> tuple[tuple[str, str], ...]:
+    pairs: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(raw):
+        match = _LABEL_PAIR_RE.match(raw, pos)
+        if match is None:
+            raise ValueError(f"malformed label segment: {raw[pos:]!r}")
+        value = match.group("value").encode().decode("unicode_escape")
+        pairs.append((match.group("name"), value))
+        pos = match.end()
+    return tuple(pairs)
+
+
+def parse_prometheus(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse (and validate) Prometheus text format.
+
+    Returns ``{(sample_name, ((label, value), ...)): value}``.  Raises
+    ``ValueError`` on malformed lines, unknown ``# TYPE`` kinds, or
+    samples that belong to no declared family — strict enough to act as
+    the format check in CI.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    declared: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {lineno}: malformed HELP line: {line!r}")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or parts[3] not in _VALID_KINDS:
+                raise ValueError(f"line {lineno}: malformed TYPE line: {line!r}")
+            declared[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample line: {line!r}")
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stripped = name.removesuffix(suffix)
+            if stripped != name and declared.get(stripped) == "histogram":
+                base = stripped
+                break
+        if base not in declared:
+            raise ValueError(f"line {lineno}: sample {name!r} has no # TYPE declaration")
+        labels = _parse_labels(match.group("labels") or "")
+        key = (name, labels)
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        try:
+            samples[key] = _parse_value(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad value in {line!r}") from exc
+    return samples
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_ObsHTTPServer"  # type: ignore[assignment]
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path in ("/metrics", "/"):
+            body = self.server.render_text().encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif self.path == "/metrics.json":
+            body = json.dumps(self.server.render_json(), sort_keys=True).encode("utf-8")
+            content_type = "application/json"
+        else:
+            self.send_response(404)
+            self.end_headers()
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        pass  # scrape traffic must not spam the session's stdout
+
+
+class _ObsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        registry: "MetricsRegistry | NullRegistry",
+        sync: Callable[[], None] | None,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self._registry = registry
+        self._sync = sync
+
+    def render_text(self) -> str:
+        if self._sync is not None:
+            self._sync()
+        return render_prometheus(self._registry)
+
+    def render_json(self) -> dict[str, object]:
+        if self._sync is not None:
+            self._sync()
+        return json_dump(self._registry)
+
+
+class MetricsServer:
+    """A daemon-thread /metrics endpoint over one registry.
+
+    ``port=0`` binds an ephemeral port; read ``.port`` after ``start()``.
+    The optional ``sync`` callback runs before each scrape so bridged
+    ledger gauges are current at exposition time.
+    """
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry | NullRegistry",
+        port: int = 0,
+        host: str = "127.0.0.1",
+        sync: Callable[[], None] | None = None,
+    ) -> None:
+        self._registry = registry
+        self._requested_port = port
+        self.host = host
+        self._sync = sync
+        self._server: _ObsHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self.port: int | None = None
+
+    def start(self) -> "MetricsServer":
+        if self._server is not None:
+            return self
+        self._server = _ObsHTTPServer((self.host, self._requested_port), self._registry, self._sync)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="ctup-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        if self.port is None:
+            raise RuntimeError("metrics server is not running")
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

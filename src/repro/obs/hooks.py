@@ -1,0 +1,83 @@
+"""ObservabilityHooks: session-level metrics riding the hook bus.
+
+The bridge (:mod:`repro.obs.bridge`) mirrors the monitor's *ledgers*;
+this adapter records the *stream* — events the ledgers cannot see, like
+batch sizes, top-k movement and the current SK — as true registry
+counters/histograms, updated live as the session runs.  It is appended
+automatically by :class:`~repro.engine.session.MonitorSession` when an
+Observability bundle is attached.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.engine.hooks import MonitorHooks
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.events import TopKChange
+    from repro.core.metrics import UpdateReport
+    from repro.model import LocationUpdate
+    from repro.obs.spec import Observability
+
+__all__ = ["ObservabilityHooks"]
+
+#: Batch-size buckets: powers of two up to the largest burst a session
+#: realistically coalesces.
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0)
+
+
+class ObservabilityHooks(MonitorHooks):
+    """Bridges session events onto an Observability bundle."""
+
+    def __init__(self, obs: "Observability") -> None:
+        self.obs = obs
+        registry = obs.registry
+        self._updates = registry.counter(
+            "ctup_session_updates_total",
+            "Location updates fed into the session.",
+        )
+        self._batches = registry.counter(
+            "ctup_session_batches_total",
+            "Bursts flushed through the monitor (batch mode).",
+        )
+        self._changes = registry.counter(
+            "ctup_session_topk_changes_total",
+            "Times the top-k result (or SK) moved.",
+        )
+        self._refreshes = registry.counter(
+            "ctup_session_refreshes_total",
+            "Access phases run by the session.",
+        )
+        self._cells = registry.counter(
+            "ctup_session_cells_accessed_total",
+            "Cells touched by session access phases.",
+        )
+        self._batch_size = registry.histogram(
+            "ctup_session_batch_size",
+            "Flushed burst sizes, in raw updates.",
+            buckets=_BATCH_BUCKETS,
+        )
+        self._sk = registry.gauge(
+            "ctup_session_sk",
+            "Current SK (the k-th smallest safety; +Inf below k places).",
+        )
+
+    def on_update_start(self, update: "LocationUpdate") -> None:
+        self._updates.inc()
+
+    def on_update_end(self, update: "LocationUpdate", report: "UpdateReport") -> None:
+        self._sk.set(report.sk)
+
+    def on_batch_flush(
+        self, updates: Sequence["LocationUpdate"], report: "UpdateReport"
+    ) -> None:
+        self._batches.inc()
+        self._batch_size.observe(float(len(updates)))
+
+    def on_topk_change(self, change: "TopKChange") -> None:
+        self._changes.inc()
+
+    def on_refresh(self, accessed: int) -> None:
+        self._refreshes.inc()
+        self._cells.inc(float(accessed))

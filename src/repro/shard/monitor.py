@@ -205,6 +205,21 @@ class ShardedMonitor(CTUPMonitor):
         return accessed
 
     def _drain(self, shard: _Shard) -> int:
+        """Drain one shard, wrapped in an observability span when a
+        bundle is attached (drains may run on pool threads; span
+        emission is append-only and thread-safe)."""
+        obs = self.obs
+        if obs is None:
+            return self._drain_queue(shard)
+        with obs.tracer.span(
+            "shard.drain",
+            cat="shard",
+            shard=shard.shard_id,
+            queued=len(shard.queue),
+        ):
+            return self._drain_queue(shard)
+
+    def _drain_queue(self, shard: _Shard) -> int:
         """Deliver a shard's queued deliveries (in arrival order) and
         run its access phase if any delivery was full.
 
@@ -252,9 +267,18 @@ class ShardedMonitor(CTUPMonitor):
 
     def _merged(self) -> list[SafetyRecord]:
         if self._merge_cache is None:
-            self._merge_cache = self.merger.merge(
-                [sh.monitor for sh in self._shards]
-            )
+            obs = self.obs
+            if obs is None:
+                self._merge_cache = self.merger.merge(
+                    [sh.monitor for sh in self._shards]
+                )
+            else:
+                with obs.tracer.span(
+                    "topk.merge", cat="shard", shards=len(self._shards)
+                ):
+                    self._merge_cache = self.merger.merge(
+                        [sh.monitor for sh in self._shards]
+                    )
         return self._merge_cache
 
     def top_k(self) -> list[SafetyRecord]:

@@ -27,6 +27,7 @@ from repro.core.events import TopKChange
 from repro.core.monitor import CTUPMonitor
 from repro.engine import MonitorHooks, MonitorSession
 from repro.model import SafetyRecord
+from repro.obs.spec import Observability, ObsSpec, coerce_observability
 from repro.workloads import build_scenario
 from repro.workloads.stream import Mobility
 
@@ -67,16 +68,22 @@ class Simulation:
         audit_every: int = 0,
         batch_size: int = 0,
         session: MonitorSession | None = None,
+        obs: "ObsSpec | Observability | None" = None,
     ) -> None:
         """``audit_every`` > 0 runs the invariant auditor every that
         many updates; ``batch_size`` > 0 ingests the live stream in
         exact bursts (both forwarded to the session). Pass ``session``
         to adopt a pre-built (e.g. checkpoint-resumed) session driving
-        ``monitor`` instead of constructing a fresh one."""
+        ``monitor`` instead of constructing a fresh one; ``obs``
+        attaches observability (:class:`repro.obs.ObsSpec`) when the
+        shell builds the session itself."""
         self.monitor = monitor
         self.mobility = mobility
         self.session = session or MonitorSession(
-            monitor, batch_size=batch_size, audit_every=audit_every
+            monitor,
+            batch_size=batch_size,
+            audit_every=audit_every,
+            obs=coerce_observability(obs),
         )
         self.timeline = Timeline()
         self.changes: list[TopKChange] = []
@@ -109,6 +116,7 @@ class Simulation:
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 0,
         resume: bool = False,
+        obs: "ObsSpec | Observability | None" = None,
     ) -> "Simulation":
         """Build a ready-to-run simulation from a named scenario.
 
@@ -119,7 +127,8 @@ class Simulation:
         seed, sizes, batch size): the scenario's mobility model is
         deterministic, so the already-journaled prefix is regenerated
         and discarded to fast-forward live generation to where the
-        recovered run stopped.
+        recovered run stopped. ``obs`` attaches observability
+        (:class:`repro.obs.ObsSpec`) to the session either way.
         """
         from repro.core.tuning import suggest_granularity
 
@@ -140,7 +149,7 @@ class Simulation:
         )
         factory = monitor_factory or OptCTUP
         if checkpoint_dir is not None:
-            from repro.api import open_session
+            from repro.api import DurabilitySpec, open_session
 
             session = open_session(
                 factory,
@@ -149,9 +158,10 @@ class Simulation:
                 config=config,
                 batch_size=batch_size,
                 audit_every=audit_every,
-                checkpoint_dir=checkpoint_dir,
-                checkpoint_every=checkpoint_every,
-                resume=resume,
+                durability=DurabilitySpec(
+                    checkpoint_dir, every=checkpoint_every, resume=resume
+                ),
+                obs=obs,
             )
             replayed = session.updates_processed + session.pending_updates
             if resume and replayed:
@@ -164,6 +174,7 @@ class Simulation:
             world.mobility,
             audit_every=audit_every,
             batch_size=batch_size,
+            obs=obs,
         )
 
     def run(self, updates: int) -> SimulationOutcome:

@@ -32,10 +32,13 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.geometry import Point
 from repro.model import LocationUpdate
+
+if TYPE_CHECKING:
+    from repro.obs.spec import Observability
 
 #: single-mode update, batch-buffered update, flush marker.
 OP_UPDATE = "u"
@@ -100,8 +103,18 @@ class UpdateJournal:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._last_seq = 0
+        self.obs: "Observability | None" = None
         self._recover_tail()
         self._file = self.path.open("a", encoding="utf-8")
+
+    def attach_observability(self, obs: "Observability") -> None:
+        """Span + count every append (fsync latency is the point)."""
+        self.obs = obs
+        obs.registry.counter(
+            "ctup_journal_records_total",
+            "Journal records appended (and fsynced), by op.",
+            labelnames=("op",),
+        )
 
     def _recover_tail(self) -> None:
         """Scan the existing file: adopt the last sequence number and
@@ -140,6 +153,19 @@ class UpdateJournal:
         return self._append(JournalRecord(self._last_seq + 1, OP_FLUSH))
 
     def _append(self, record: JournalRecord) -> int:
+        obs = self.obs
+        if obs is None:
+            return self._append_synced(record)
+        with obs.tracer.span("journal.append", cat="state", op=record.op):
+            seq = self._append_synced(record)
+        obs.registry.counter(
+            "ctup_journal_records_total",
+            "Journal records appended (and fsynced), by op.",
+            labelnames=("op",),
+        ).labels(op=record.op).inc()
+        return seq
+
+    def _append_synced(self, record: JournalRecord) -> int:
         self._file.write(_encode(record) + "\n")
         self._file.flush()
         os.fsync(self._file.fileno())

@@ -26,6 +26,7 @@ from repro.state.snapshot import SnapshotError, restore_monitor
 
 if TYPE_CHECKING:
     from repro.engine.session import MonitorSession
+    from repro.obs.spec import Observability
 
 _SNAPSHOT_PREFIX = "snapshot-"
 _SNAPSHOT_SUFFIX = ".json"
@@ -159,13 +160,7 @@ class RecoveryManager:
         document = self.store.latest()
         if document is None:
             return None
-        return restore_monitor(
-            document,
-            places=self.places,
-            units=self.units,
-            factory=self.factory,
-            parallelism=self.parallelism,
-        )
+        return self._restore(document)
 
     def resume_session(
         self,
@@ -175,25 +170,30 @@ class RecoveryManager:
         audit_every: int = 0,
         hooks: Sequence = (),
         track_changes: bool = True,
+        obs: "Observability | None" = None,
     ) -> "MonitorSession":
         """The full resume sequence; returns a *started* session.
 
         ``fresh_monitor`` builds the monitor for the no-snapshot-yet
         case (journal-only recovery, or a completely empty directory).
+        ``obs`` is handed to the session, so the restore and the journal
+        replay are traced and the recovered monitor comes out
+        instrumented.
         """
         from repro.engine.session import MonitorSession
 
         document = self.store.latest()
         if document is None:
             monitor = fresh_monitor()
+        elif obs is None:
+            monitor = self._restore(document)
         else:
-            monitor = restore_monitor(
-                document,
-                places=self.places,
-                units=self.units,
-                factory=self.factory,
-                parallelism=self.parallelism,
-            )
+            with obs.tracer.span(
+                "recovery.restore",
+                cat="state",
+                seq=int(document.get("journal_seq", 0)),
+            ):
+                monitor = self._restore(document)
         session = MonitorSession(
             monitor,
             batch_size=batch_size,
@@ -201,6 +201,7 @@ class RecoveryManager:
             hooks=hooks,
             track_changes=track_changes,
             checkpoint=self.policy,
+            obs=obs,
         )
         session.start()
         if document is not None:
@@ -213,5 +214,25 @@ class RecoveryManager:
             )
         journal = session.journal
         assert journal is not None  # the policy always opens one
-        session.replay(journal.tail(session.applied_seq))
+        tail = journal.tail(session.applied_seq)
+        if obs is None:
+            session.replay(tail)
+        else:
+            with obs.tracer.span(
+                "recovery.replay", cat="state", records=len(tail)
+            ):
+                session.replay(tail)
+            obs.registry.counter(
+                "ctup_recovery_replays_total",
+                "Journal-tail replays performed on resume.",
+            ).inc()
         return session
+
+    def _restore(self, document: dict[str, Any]) -> Any:
+        return restore_monitor(
+            document,
+            places=self.places,
+            units=self.units,
+            factory=self.factory,
+            parallelism=self.parallelism,
+        )

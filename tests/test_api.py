@@ -4,6 +4,7 @@ import pytest
 
 from repro.api import (
     SCHEMES,
+    ShardSpec,
     make_monitor,
     open_session,
     scheme_factory,
@@ -33,6 +34,14 @@ class TestSchemeRegistry:
         with pytest.raises(ValueError, match="unknown scheme"):
             scheme_factory("quantum")
 
+    def test_scheme_factory_error_lists_spec_usage(self):
+        with pytest.raises(ValueError, match=r"shard=ShardSpec"):
+            scheme_factory("quantum")
+
+    def test_sharded_is_first_class(self):
+        assert scheme_factory("sharded") is ShardedMonitor
+        assert "sharded" in type(SCHEMES).__doc__
+
 
 class TestMakeMonitor:
     def test_default_is_plain_opt(self, small_config, small_places, small_units):
@@ -59,8 +68,7 @@ class TestMakeMonitor:
             places=small_places,
             units=small_units,
             config=small_config,
-            shards=3,
-            shard_strategy="interleaved",
+            shard=ShardSpec(shards=3, strategy="interleaved"),
         )
         assert isinstance(monitor, ShardedMonitor)
         assert monitor.plan.n_shards == 3
@@ -80,7 +88,7 @@ class TestMakeMonitor:
             places=small_places,
             units=small_units,
             config=small_config,
-            shards=plan,
+            shard=plan,
         )
         assert isinstance(monitor, ShardedMonitor)
         assert monitor.plan is plan
@@ -162,7 +170,7 @@ class TestOpenSession:
             places=small_places,
             units=small_units,
             config=small_config,
-            shards=4,
+            shard=ShardSpec(shards=4),
         )
         session.start()
         session.run(small_stream)

@@ -588,6 +588,120 @@ class TestKernelsVectorised:
         assert codes_of(run_rules([fixture], "RPL009")) == []
 
 
+# -- RPL010: observability at pass boundaries ---------------------------
+
+
+class TestObsPassBoundary:
+    def test_runtime_obs_import_fires(self):
+        fixture = src(
+            """
+            from repro.obs.spec import Observability
+
+            def apply(monitor, moves):
+                return monitor
+            """,
+            module="repro.core.kernels",
+        )
+        result = run_rules([fixture], "RPL010")
+        assert codes_of(result) == ["RPL010"]
+        assert "TYPE_CHECKING" in result.violations[0].message
+
+    def test_type_checking_import_is_exempt(self):
+        fixture = src(
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.obs.spec import Observability
+
+            def apply(monitor, moves):
+                return monitor
+            """,
+            module="repro.core.kernels",
+        )
+        assert codes_of(run_rules([fixture], "RPL010")) == []
+
+    def test_span_inside_loop_fires(self):
+        fixture = src(
+            """
+            def apply(monitor, moves):
+                for move in moves:
+                    with monitor.obs.tracer.span("kernel.move"):
+                        handle(move)
+            """,
+            module="repro.core.kernels",
+        )
+        result = run_rules([fixture], "RPL010")
+        assert codes_of(result) == ["RPL010"]
+        assert "loop body" in result.violations[0].message
+
+    def test_metric_inc_inside_loop_fires(self):
+        fixture = src(
+            """
+            def apply(registry, cells):
+                counter = registry.counter("ctup_cells_total")
+                while cells:
+                    cells.pop()
+                    counter.inc()
+            """,
+            module="repro.core.kernels",
+        )
+        # only `counter.inc()` survives the chain check — the receiver
+        # is not obs-rooted, so nothing fires; the registry-rooted form
+        # must.
+        assert codes_of(run_rules([fixture], "RPL010")) == []
+        rooted = src(
+            """
+            def apply(registry, cells):
+                while cells:
+                    cells.pop()
+                    registry.counter("ctup_cells_total").inc()
+            """,
+            module="repro.core.kernels",
+        )
+        assert codes_of(run_rules([rooted], "RPL010")) == ["RPL010"]
+
+    def test_span_around_the_loop_is_clean(self):
+        fixture = src(
+            """
+            def apply(monitor, moves):
+                obs = monitor.obs
+                with obs.tracer.span("kernel.burst", moves=len(moves)):
+                    for move in moves:
+                        handle(move)
+            """,
+            module="repro.core.kernels",
+        )
+        # the span call sits outside the for statement, so the loop-body
+        # walk never reaches it.
+        assert codes_of(run_rules([fixture], "RPL010")) == []
+
+    def test_unrelated_set_calls_in_loops_are_clean(self):
+        fixture = src(
+            """
+            def apply(cells):
+                for cell in cells:
+                    cell.bounds.set(0.0)
+                    cell.flags.labels(kind="dark")
+            """,
+            module="repro.core.kernels",
+        )
+        assert codes_of(run_rules([fixture], "RPL010")) == []
+
+    def test_other_modules_are_out_of_scope(self):
+        fixture = src(
+            """
+            from repro.obs.spec import Observability
+
+            def run(obs):
+                for _ in range(3):
+                    obs.tracer.record("x", "cat", 0.0, 1.0)
+            """,
+            module="repro.engine.fixture",
+        )
+        assert codes_of(run_rules([fixture], "RPL010")) == []
+
+
 # -- RPLT01: the typing gate --------------------------------------------
 
 
@@ -797,7 +911,8 @@ class TestShippedTree:
             data = tomllib.load(handle)
         table = data["tool"]["reprolint"]
         assert "repro.core" in table["strict-typed-modules"]
-        assert data["project"]["version"] == "1.3.0"
+        assert data["project"]["version"] == "1.4.0"
+        assert "repro.obs" in table["strict-typed-modules"]
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.validate",
     "repro.shard",
     "repro.api",
+    "repro.obs",
 ]
 
 
@@ -62,6 +63,10 @@ def test_top_level_surface_is_stable():
         "ShardPlan",
         "ShardRouter",
         "GlobalTopK",
+        "ShardSpec",
+        "DurabilitySpec",
+        "ObsSpec",
+        "Observability",
     }
     assert expected <= set(repro.__all__)
 

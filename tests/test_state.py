@@ -17,7 +17,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.api import SCHEMES, open_session
+from repro.api import SCHEMES, DurabilitySpec, ShardSpec, open_session
 from repro.core import CTUPConfig
 from repro.ext import DecayCTUP, ExtentCTUP, ExtentPlace, ThresholdCTUP
 from repro.geometry import Rect
@@ -89,7 +89,7 @@ def run_straight(scheme, shards, total=80, batch_size=BATCH):
         places=PLACES,
         units=make_units(),
         config=CONFIG,
-        shards=shards,
+        shard=ShardSpec(shards=shards),
         batch_size=batch_size,
     )
     session.start()
@@ -118,10 +118,9 @@ def crash_and_resume(
         places=PLACES,
         units=make_units(),
         config=CONFIG,
-        shards=shards,
+        shard=ShardSpec(shards=shards),
         batch_size=batch_size,
-        checkpoint_dir=directory,
-        checkpoint_every=every,
+        durability=DurabilitySpec(directory, every=every),
     )
     session.start()
     for update in STREAM.updates[:kill]:
@@ -134,10 +133,9 @@ def crash_and_resume(
         places=PLACES,
         units=make_units(),
         config=CONFIG,
-        shards=shards,
+        shard=ShardSpec(shards=shards),
         batch_size=batch_size,
-        checkpoint_dir=directory,
-        resume=True,
+        durability=DurabilitySpec(directory, resume=True),
     )
     assert resumed.started, "resume must hand back a started session"
     for update in STREAM.updates[kill:total]:
@@ -187,7 +185,7 @@ class TestCrashRecovery:
             units=make_units(),
             config=CONFIG,
             batch_size=BATCH,
-            checkpoint_dir=tmp_path,
+            durability=tmp_path,
         )
         assert not CheckpointStore(tmp_path).snapshot_paths()
         session.start()
@@ -201,7 +199,7 @@ class TestCrashRecovery:
             units=make_units(),
             config=CONFIG,
             batch_size=BATCH,
-            checkpoint_dir=tmp_path,
+            durability=DurabilitySpec(tmp_path),
         ) as session:
             session.start()
             for update in STREAM.updates[:10]:
@@ -213,25 +211,29 @@ class TestCrashRecovery:
 
 class TestOpenSessionValidation:
     def test_resume_requires_a_directory(self):
-        with pytest.raises(ValueError, match="checkpoint_dir"):
-            open_session(
-                "opt",
-                places=PLACES,
-                units=make_units(),
-                config=CONFIG,
-                resume=True,
-            )
+        with pytest.warns(DeprecationWarning, match="flat keyword"):
+            with pytest.raises(ValueError, match="checkpoint_dir"):
+                open_session(
+                    "opt",
+                    places=PLACES,
+                    units=make_units(),
+                    config=CONFIG,
+                    resume=True,
+                )
 
     def test_resume_rejects_an_adopted_monitor(self, tmp_path):
         monitor = SCHEMES["opt"](CONFIG, PLACES, make_units())
         with pytest.raises(ValueError, match="own monitor"):
             open_session(
-                monitor=monitor, checkpoint_dir=tmp_path, resume=True
+                monitor=monitor,
+                durability=DurabilitySpec(tmp_path, resume=True),
             )
 
     def test_resume_requires_places_and_units(self, tmp_path):
         with pytest.raises(ValueError, match="places"):
-            open_session("opt", checkpoint_dir=tmp_path, resume=True)
+            open_session(
+                "opt", durability=DurabilitySpec(tmp_path, resume=True)
+            )
 
 
 # -- the snapshot protocol ----------------------------------------------
