@@ -1,0 +1,105 @@
+"""Lint-perf guard: a warm incremental-cache run must beat a cold one.
+
+The incremental cache (:mod:`repro.lint.cache`) exists to make
+re-linting an unchanged tree nearly free — a fully warm run restores
+every pre-pass summary and every finding bucket from the cache and
+parses no AST at all. This benchmark measures that claim on the real
+tree and guards it in CI:
+
+- **cold**: lint ``src`` + ``tests`` into a fresh cache;
+- **warm**: lint again, reloading the cache the cold run wrote;
+- the two runs must report *identical* findings, and warm must be at
+  least ``--min-speedup`` times faster (default 5x; the observed ratio
+  on this tree is ~40x).
+
+CLI (also wired into CI as the lint-perf guard)::
+
+    python benchmarks/bench_lint.py --check         # CI guard
+    python benchmarks/bench_lint.py                 # just report timings
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.lint import LintCache, LintResult, lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DEFAULT_PATHS = (REPO_ROOT / "src", REPO_ROOT / "tests")
+
+
+def _findings(result: LintResult) -> list[tuple[str, str, int, int, str]]:
+    return [
+        (v.code, v.path, v.line, v.col, v.message)
+        for v in result.all_findings()
+    ]
+
+
+def run(paths: list[pathlib.Path], min_speedup: float, check: bool) -> int:
+    with tempfile.TemporaryDirectory(prefix="bench-lint-") as tmp:
+        cache_path = pathlib.Path(tmp) / "cache.json"
+
+        started = time.perf_counter()
+        cold = lint_paths(paths, cache=LintCache(cache_path))
+        cold_s = time.perf_counter() - started
+
+        warm_cache = LintCache(cache_path)
+        started = time.perf_counter()
+        warm = lint_paths(paths, cache=warm_cache)
+        warm_s = time.perf_counter() - started
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(
+        f"lint {cold.files_checked} file(s): cold {cold_s:.3f}s, "
+        f"warm {warm_s:.3f}s ({speedup:.1f}x, cache hits "
+        f"{warm_cache.hits}, misses {warm_cache.misses})"
+    )
+
+    if _findings(cold) != _findings(warm):
+        print("FAIL: cold and warm runs disagree on findings", file=sys.stderr)
+        return 1
+    print("cold and warm findings identical")
+    if check and speedup < min_speedup:
+        print(
+            f"FAIL: warm speedup {speedup:.1f}x below the "
+            f"{min_speedup:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if check:
+        print(f"speedup >= {min_speedup:.1f}x floor: ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[str(p) for p in DEFAULT_PATHS],
+        help="paths to lint (default: the repo's src and tests)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="required warm-vs-cold ratio with --check (default 5.0)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail when the warm run misses the speedup floor",
+    )
+    args = parser.parse_args(argv)
+    return run(
+        [pathlib.Path(p) for p in args.paths], args.min_speedup, args.check
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

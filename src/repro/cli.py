@@ -156,7 +156,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         dest="lint_format",
         help="report format (default text)",
@@ -170,6 +170,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mypy",
         action="store_true",
         help="also run mypy over the strict-typed module set, if installed",
+    )
+    lint.add_argument(
+        "--cache",
+        nargs="?",
+        const="__DEFAULT__",
+        default=None,
+        metavar="PATH",
+        help="use the incremental analysis cache (optional PATH)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rule-pass worker threads (0 = auto; default serial)",
+    )
+    lint.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="report only files changed vs the git baseline REF",
     )
     return parser
 
@@ -357,6 +380,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         forwarded.append("--list-rules")
     if args.mypy:
         forwarded.append("--mypy")
+    if args.cache is not None:
+        forwarded.append("--cache")
+        if args.cache != "__DEFAULT__":
+            forwarded.append(args.cache)
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
+    if args.changed is not None:
+        forwarded += ["--changed", args.changed]
     return lint_main(forwarded)
 
 

@@ -1,0 +1,116 @@
+"""The incremental analysis cache.
+
+One JSON document on disk, one entry per linted file:
+
+.. code-block:: json
+
+    {
+      "cache_version": 1,
+      "files": {
+        "src/repro/core/monitor.py": {
+          "content_hash": "sha256...",
+          "summary": { "...FileSummary payload..." },
+          "local":   {"signature": "RPL000:1,...", "violations": []},
+          "project": {"signature": "RPL001:1,...", "digest": "sha256...",
+                      "violations": []}
+        }
+      }
+    }
+
+Invalidation is entirely key-based — nothing is ever "patched":
+
+* ``content_hash`` (sha256 of the file bytes) guards the summary and
+  both rule buckets; any edit drops everything for that file;
+* each bucket's ``signature`` embeds the active rule codes *and their
+  versions* plus the config fingerprint, so bumping a rule's
+  ``version`` or changing select/ignore/strict sets re-runs it;
+* the ``project`` bucket also records the digest over every file's
+  summary, so a change anywhere in the tree re-runs the cross-file
+  rules everywhere while the local buckets stay warm.
+
+Corrupt or version-mismatched cache files are discarded silently — the
+cache is an accelerator, never a source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+from typing import Any, Mapping
+
+CACHE_VERSION = 1
+
+#: default on-disk location (relative to the working directory).
+DEFAULT_CACHE_PATH = ".reprolint-cache.json"
+
+
+class LintCache:
+    """Load-once, save-once JSON store used by ``lint_paths``."""
+
+    def __init__(self, path: str | pathlib.Path = DEFAULT_CACHE_PATH) -> None:
+        self.path = pathlib.Path(path)
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        #: telemetry for the CLI summary and the perf guard.
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("cache_version") != CACHE_VERSION
+        ):
+            return
+        files = payload.get("files")
+        if isinstance(files, dict):
+            self._entries = {
+                str(key): dict(value)
+                for key, value in files.items()
+                if isinstance(value, dict)
+            }
+
+    def entry(self, path: str) -> Mapping[str, Any] | None:
+        """The cached record for one file (``None`` on a miss)."""
+        found = self._entries.get(path)
+        if found is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return found
+
+    def store(self, path: str, record: dict[str, Any]) -> None:
+        if self._entries.get(path) != record:
+            self._entries[path] = record
+            self._dirty = True
+
+    def save(self) -> None:
+        """Write the store atomically (tmp + rename); no-op when clean."""
+        if not self._dirty:
+            return
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "files": self._entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=str(self.path.parent),
+            prefix=self.path.name + ".",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            pathlib.Path(handle.name).replace(self.path)
+        except OSError:
+            pathlib.Path(handle.name).unlink(missing_ok=True)
+            raise
+        self._dirty = False

@@ -1,4 +1,4 @@
-"""Reporters: human text and machine JSON.
+"""Reporters: human text, machine JSON, and SARIF 2.1.0.
 
 The JSON schema is part of the contract (CI and tests parse it):
 
@@ -62,6 +62,74 @@ def render_json(result: LintResult) -> str:
                 "col": v.col,
             }
             for v in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: the SARIF format version this renderer targets. GitHub code
+#: scanning ingests this shape directly (upload-sarif action).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 for code-scanning annotation uploads.
+
+    One run, one driver; every registered rule appears in the rule
+    table (stable index order by code) and every finding references its
+    rule by id + index. Lines/columns are 1-based per the SARIF spec —
+    our internal column is 0-based, hence the +1.
+    """
+    codes = sorted(RULES)
+    rule_index = {code: position for position, code in enumerate(codes)}
+    driver_rules: list[dict[str, object]] = [
+        {
+            "id": code,
+            "name": RULES[code].name,
+            "shortDescription": {"text": RULES[code].summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in codes
+    ]
+    results: list[dict[str, object]] = []
+    for violation in result.all_findings():
+        entry: dict[str, object] = {
+            "ruleId": violation.code,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(1, violation.line),
+                            "startColumn": violation.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.code in rule_index:
+            entry["ruleIndex"] = rule_index[violation.code]
+        results.append(entry)
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": driver_rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -7,9 +7,13 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     counters,
     deprecation,
     determinism,
+    durability,
+    flowcounters,
     hygiene,
     kernels,
+    locks,
     obs,
+    phases,
     state,
     threads,
 )

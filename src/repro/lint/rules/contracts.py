@@ -38,6 +38,7 @@ BASE_MODULE = "repro.core.monitor"
     "scheme-contract",
     "monitor subclasses define the phase API and never override the "
     "base class's timing/counter ownership",
+    project_dependent=True,
 )
 def check(source: SourceFile, project: ProjectIndex) -> Iterator[Violation]:
     if not source.in_packages("repro"):

@@ -24,6 +24,7 @@ from repro.lint.registry import Violation, rule
     "deprecation-hygiene",
     "no in-package calls to surfaces that raise DeprecationWarning "
     "(cross-checked by the pytest error::DeprecationWarning:repro gate)",
+    project_dependent=True,
 )
 def check(source: SourceFile, project: ProjectIndex) -> Iterator[Violation]:
     if not source.in_packages("repro") or not project.deprecated:

@@ -211,9 +211,16 @@ class MetricsRegistry:
     Registration is idempotent — asking for an existing name with the
     same kind/labels returns the existing family, so instrumentation
     sites can re-register on every call without bookkeeping.
+
+    The ``/metrics`` server thread reads the family table concurrently
+    with registration on the main loop, so every ``_families`` access
+    holds ``_lock`` (``GUARDED_FIELDS`` is the RPL012 contract).
+    Family/child objects themselves are append-only and safe to use
+    outside the lock once handed out.
     """
 
     enabled = True
+    GUARDED_FIELDS = ("_families",)
 
     def __init__(self) -> None:
         self._families: dict[str, MetricFamily] = {}
@@ -265,13 +272,17 @@ class MetricsRegistry:
             return [self._families[name] for name in sorted(self._families)]
 
     def get(self, name: str) -> MetricFamily | None:
-        return self._families.get(name)
+        with self._lock:
+            return self._families.get(name)
 
     def value(self, name: str, **labels: object) -> float:
         """The current value of one child (sum for histograms)."""
-        family = self._families.get(name)
+        with self._lock:
+            family = self._families.get(name)
         if family is None:
             raise KeyError(name)
+        # child lookup happens outside the lock: families are
+        # append-only and Lock is not reentrant (labels() may register).
         return family.labels(**labels).value
 
 

@@ -17,6 +17,7 @@ journal tail through the ordinary session pipeline, continue.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
@@ -74,11 +75,16 @@ class CheckpointStore:
         )
 
     def write_snapshot(self, document: dict[str, Any]) -> Path:
-        """Atomically persist a snapshot document (write temp, rename)."""
+        """Atomically persist a snapshot document (write temp, fsync,
+        rename) — the rename alone is atomic but not durable; a crash
+        right after it may expose an empty file to recovery."""
         seq = int(document.get("journal_seq", 0))
         path = self.directory / f"{_SNAPSHOT_PREFIX}{seq:012d}{_SNAPSHOT_SUFFIX}"
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(document), encoding="utf-8")
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(document))
+            handle.flush()
+            os.fsync(handle.fileno())
         tmp.replace(path)
         return path
 

@@ -837,6 +837,10 @@ class TestDriver:
             "RPL005",
             "RPL006",
             "RPL007",
+            "RPL011",
+            "RPL012",
+            "RPL013",
+            "RPL014",
             "RPLT01",
         }
         assert expected <= set(RULES)
@@ -911,7 +915,7 @@ class TestShippedTree:
             data = tomllib.load(handle)
         table = data["tool"]["reprolint"]
         assert "repro.core" in table["strict-typed-modules"]
-        assert data["project"]["version"] == "1.4.0"
+        assert data["project"]["version"] == "1.5.0"
         assert "repro.obs" in table["strict-typed-modules"]
 
 
