@@ -1,0 +1,283 @@
+"""Reconfiguration benchmark: incremental control events vs rebuild.
+
+Runs the OptCTUP scheme over a pinned-seed workload, warms it with the
+update stream, then applies a batch of ``PlaceAdded`` control events
+twice — once in ``incremental`` mode (the scheme splices the new place
+into its maintained state) and once in ``rebuild`` mode (every event
+tears the derived state down and rebuilds it from the catalog).
+
+Both runs must land on the *same* world: the final SK and top-k are
+asserted identical, so the speedup is never bought with a wrong answer.
+The headline number is ``speedup_x = rebuild_seconds /
+incremental_seconds``; the bench hard-fails when it drops below
+:data:`MIN_SPEEDUP` on the smoke profile (|P| = 2000) — incremental
+application is the tentpole of the control plane, and a 5x margin is
+the floor, not the target.
+
+The work counters (cells accessed, places loaded, page reads — summed
+over the :class:`~repro.control.EpochReport` receipts) are deterministic
+for a pinned workload and guarded tightly; wall clocks are advisory.
+
+CLI (also wired into CI as a smoke job)::
+
+    python benchmarks/bench_reconfig.py --smoke --check   # fast CI guard
+    python benchmarks/bench_reconfig.py --write-baseline  # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro.api import make_monitor
+from repro.bench import build_workload
+from repro.bench.guard import (
+    SCHEMA_VERSION,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from repro.control import PlaceAdded
+from repro.core import CTUPConfig
+from repro.model import Place, Point
+
+BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_reconfig.json"
+)
+
+BENCH_NAME = "reconfig"
+SCHEME = "opt"
+
+#: execution modes: how apply_control handles each event.
+MODES = ("incremental", "rebuild")
+
+#: the floor, asserted outright on the smoke profile (|P| = 2000).
+MIN_SPEEDUP = 5.0
+
+COUNTER_METRICS = (
+    "cells_accessed",
+    "places_loaded",
+    "page_reads",
+    "rebuilds",
+    "epoch",
+    "final_sk",
+)
+WALL_METRICS = ("apply_seconds",)
+
+#: pinned workloads; these parameters are part of the baseline's
+#: identity — changing them is a structural break, not a regression.
+PROFILES = {
+    "smoke": dict(n_units=200, n_places=2_000, stream_length=30, seed=7),
+    "default": dict(n_units=400, n_places=8_000, stream_length=60, seed=7),
+}
+K = 5
+N_ADDS = 24
+
+
+def machine_metadata() -> dict:
+    import platform
+
+    import numpy as np
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+    }
+
+
+def _added_places(workload, seed: int) -> list[Place]:
+    """The pinned batch of new places, ids above the existing range."""
+    rng = random.Random(seed * 31 + 9)
+    base = max(p.place_id for p in workload.places) + 1
+    return [
+        Place(
+            base + i,
+            Point(rng.random() * 0.999, rng.random() * 0.999),
+            rng.randint(1, 5),
+        )
+        for i in range(N_ADDS)
+    ]
+
+
+def _warm_monitor(workload, config: CTUPConfig):
+    monitor = make_monitor(
+        SCHEME, places=workload.places, units=workload.units, config=config
+    )
+    monitor.initialize()
+    for update in workload.stream:
+        monitor.process(update)
+    return monitor
+
+
+def _run_mode(workload, config: CTUPConfig, mode: str, adds) -> dict:
+    monitor = _warm_monitor(workload, config)
+    reports = []
+    start = time.perf_counter()
+    for place in adds:
+        reports.append(monitor.apply_control(PlaceAdded(place), mode=mode))
+    apply_seconds = time.perf_counter() - start
+    sk = monitor.sk()
+    rows = [(r.place_id, r.safety) for r in monitor.top_k()]
+    return {
+        "apply_seconds": round(apply_seconds, 4),
+        "cells_accessed": sum(r.cells_accessed for r in reports),
+        "places_loaded": sum(r.places_loaded for r in reports),
+        "page_reads": sum(r.page_reads for r in reports),
+        "rebuilds": sum(1 for r in reports if r.rebuilt),
+        "epoch": monitor.epoch,
+        "final_sk": sk,
+        # the guaranteed part of the answer (monitor.top_k's contract):
+        # SK, every place strictly below it, and the safety multiset —
+        # which tied place fills the last slot is scheme-ambiguous.
+        "_answer": (
+            sk,
+            [t for t in rows if t[1] < sk],
+            sorted(s for _, s in rows),
+        ),
+    }
+
+
+def run_profile(name: str) -> dict:
+    params = PROFILES[name]
+    workload = build_workload(**params)
+    config = CTUPConfig(k=K)
+    adds = _added_places(workload, params["seed"])
+    modes = {
+        mode: _run_mode(workload, config, mode, adds) for mode in MODES
+    }
+    incremental, rebuild = modes["incremental"], modes["rebuild"]
+    # equivalence first: a fast wrong answer is not a speedup.
+    if incremental["_answer"] != rebuild["_answer"]:
+        raise AssertionError(
+            f"{name}: incremental and rebuild answers diverge"
+        )
+    if incremental["final_sk"] != rebuild["final_sk"]:
+        raise AssertionError(
+            f"{name}: sk diverges: {incremental['final_sk']} vs "
+            f"{rebuild['final_sk']}"
+        )
+    for metrics in modes.values():
+        del metrics["_answer"]
+    speedup = rebuild["apply_seconds"] / max(
+        incremental["apply_seconds"], 1e-9
+    )
+    return {
+        "workload": {**params, "k": K, "n_adds": N_ADDS},
+        "speedup_x": round(speedup, 1),
+        "schemes": {SCHEME: modes},
+    }
+
+
+def run_bench(profiles: list[str]) -> dict:
+    return {
+        "bench": BENCH_NAME,
+        "version": SCHEMA_VERSION,
+        "machine": machine_metadata(),
+        "profiles": {name: run_profile(name) for name in profiles},
+    }
+
+
+def _summary_lines(doc: dict) -> list[str]:
+    lines = []
+    for profile, prof in doc["profiles"].items():
+        modes = prof["schemes"][SCHEME]
+        inc, reb = modes["incremental"], modes["rebuild"]
+        lines.append(
+            f"{profile:8} {N_ADDS} adds: incremental "
+            f"{inc['apply_seconds'] * 1e3:7.1f} ms "
+            f"({inc['rebuilds']} rebuilds), rebuild "
+            f"{reb['apply_seconds'] * 1e3:7.1f} ms "
+            f"({reb['rebuilds']} rebuilds) -> {prof['speedup_x']:.1f}x"
+        )
+    return lines
+
+
+def _assert_speedup(doc: dict) -> None:
+    smoke = doc["profiles"].get("smoke")
+    if smoke and smoke["speedup_x"] < MIN_SPEEDUP:
+        raise AssertionError(
+            f"incremental place-add speedup {smoke['speedup_x']:.1f}x is "
+            f"below the {MIN_SPEEDUP:.0f}x floor at |P| = "
+            f"{smoke['workload']['n_places']}"
+        )
+
+
+def _guard(baseline: dict, doc: dict) -> "GuardReport":
+    return compare(
+        baseline,
+        doc,
+        bench=BENCH_NAME,
+        counter_metrics=COUNTER_METRICS,
+        wall_metrics=WALL_METRICS,
+    )
+
+
+# -- pytest entry point (the CI smoke job runs this file directly) --------
+
+
+def test_reconfig_smoke_matches_baseline():
+    doc = run_bench(["smoke"])
+    modes = doc["profiles"]["smoke"]["schemes"][SCHEME]
+    assert modes["incremental"]["rebuilds"] == 0
+    assert modes["rebuild"]["rebuilds"] == N_ADDS
+    assert modes["incremental"]["epoch"] == N_ADDS
+    _assert_speedup(doc)
+    report = _guard(load_baseline(BASELINE_PATH), doc)
+    assert report.ok(), report.render()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="run only the fast smoke profile"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline "
+        "(exit 1 on structural mismatch)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --check: also fail on counter regressions",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"write the results to {BASELINE_PATH.name}",
+    )
+    args = parser.parse_args(argv)
+
+    profiles = ["smoke"] if args.smoke else ["smoke", "default"]
+    doc = run_bench(profiles)
+    print(json.dumps(doc["machine"], sort_keys=True))
+    for line in _summary_lines(doc):
+        print(line)
+    _assert_speedup(doc)
+
+    status = 0
+    if args.check:
+        try:
+            baseline = load_baseline(BASELINE_PATH)
+        except FileNotFoundError:
+            print(f"no baseline at {BASELINE_PATH}; run --write-baseline first")
+            return 1
+        report = _guard(baseline, doc)
+        print(report.render())
+        if not report.ok(strict=args.strict):
+            status = 1
+    if args.write_baseline:
+        write_baseline(BASELINE_PATH, doc)
+        print(f"baseline written to {BASELINE_PATH}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

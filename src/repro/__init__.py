@@ -31,6 +31,7 @@ observability layer (:mod:`repro.obs`).
 """
 
 from repro.api import (
+    ControlSpec,
     DurabilitySpec,
     ShardSpec,
     make_monitor,
@@ -53,7 +54,7 @@ from repro.shard import GlobalTopK, ShardedMonitor, ShardPlan, ShardRouter
 from repro.validate import Oracle
 from repro.workloads import generate_places, generate_units
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CTUPConfig",
@@ -68,6 +69,7 @@ __all__ = [
     "make_monitor",
     "open_session",
     "ShardSpec",
+    "ControlSpec",
     "DurabilitySpec",
     "ObsSpec",
     "Observability",

@@ -1,0 +1,67 @@
+"""Epoch-based reconfiguration (the control plane).
+
+The data plane — location updates flowing through a monitor — assumes a
+fixed world: a fixed place catalog, a fixed ``k``, a fixed grid, a fixed
+shard plan. This package is the *only* sanctioned way to change any of
+those while a monitor is live. Each change is a **control event**
+applied at a batch boundary; applying one bumps the monitor's ``epoch``
+counter, and every snapshot and journal record names the epoch it
+belongs to, so recovery can replay a mixed stream of updates and
+reconfigurations in order.
+
+Layout:
+
+``events``
+    The event vocabulary (:class:`PlaceAdded` … :class:`ShardPlanChanged`),
+    the JSON codec used by the journal, and :class:`EpochReport` — the
+    receipt every application returns.
+``catalog``
+    :class:`PlaceCatalog` — the mutable façade over
+    :class:`~repro.storage.placestore.PlaceStore`. Direct ``add_place`` /
+    ``remove_place`` / ``reweight`` calls on a store outside
+    ``repro.storage`` / ``repro.control`` are a lint violation (RPL015).
+``apply``
+    :func:`apply_control` — patches the world (store / config / grid),
+    asks the scheme to patch its derived state incrementally, falls back
+    to a documented rebuild-in-place when the scheme declines, and bumps
+    the epoch. Ledger-neutral: a control application never changes the
+    monitor's work counters.
+``replay``
+    :func:`fold_places` — folds journaled place events into a place
+    list so recovery can rebuild a monitor whose catalog was mutated
+    before the snapshot being restored.
+"""
+
+from repro.control.apply import apply_control
+from repro.control.catalog import PlaceCatalog
+from repro.control.events import (
+    ControlEvent,
+    EpochReport,
+    GridRetuned,
+    KChanged,
+    PlaceAdded,
+    PlaceRemoved,
+    PlaceReweighted,
+    ShardPlanChanged,
+    decode_event,
+    encode_event,
+    event_kind,
+)
+from repro.control.replay import fold_places
+
+__all__ = [
+    "ControlEvent",
+    "EpochReport",
+    "GridRetuned",
+    "KChanged",
+    "PlaceAdded",
+    "PlaceCatalog",
+    "PlaceRemoved",
+    "PlaceReweighted",
+    "ShardPlanChanged",
+    "apply_control",
+    "decode_event",
+    "encode_event",
+    "event_kind",
+    "fold_places",
+]

@@ -1,0 +1,144 @@
+"""Applying a control event to a live monitor.
+
+:func:`apply_control` is the single entry point of the control plane.
+One application is always the same four-step dance:
+
+1. **World patch** — mutate the ground truth the event names: the place
+   catalog (through :class:`~repro.control.catalog.PlaceCatalog`), the
+   config's ``k``, the grid granularity, the shard plan.
+2. **Scheme patch** — ask the monitor to absorb the change into its
+   derived state incrementally (the ``_control_*`` hooks). A hook
+   returning ``False`` — or the caller passing ``mode="rebuild"`` —
+   triggers the documented fallback: rebuild the derived state from
+   scratch over the patched world (:meth:`_rebuild_in_place`).
+   Incremental and rebuild must produce result-equivalent monitors;
+   the test suite checks exactly that.
+3. **Epoch bump** — ``monitor.epoch += 1``; snapshots and reports carry
+   the epoch so a recovery can tell which world a record belongs to.
+4. **Ledger neutrality** — all work done above is measured, billed to
+   the returned :class:`~repro.control.events.EpochReport`, and then
+   erased from the monitor's own counters, so reconfiguring mid-run
+   never perturbs the benchmark ledgers of the run itself.
+
+Control events apply only *between* batches — the engine session
+(:meth:`repro.engine.session.MonitorSession.apply_control`) flushes any
+buffered updates first, and the sharded monitor refuses to resnapshot
+or reshard with deliveries still queued.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Mapping
+
+from repro.control.catalog import PlaceCatalog
+from repro.control.events import (
+    ControlEvent,
+    EpochReport,
+    GridRetuned,
+    KChanged,
+    PlaceAdded,
+    PlaceRemoved,
+    PlaceReweighted,
+    ShardPlanChanged,
+    event_kind,
+)
+
+if TYPE_CHECKING:
+    from repro.core.monitor import CTUPMonitor
+
+_MODES = ("incremental", "rebuild")
+
+
+def _patch_world_and_scheme(
+    monitor: "CTUPMonitor", event: ControlEvent, incremental: bool
+) -> bool:
+    """Steps 1 and 2; returns whether the scheme absorbed the event
+    incrementally (``False`` means the caller must rebuild)."""
+    if isinstance(event, PlaceAdded):
+        cell = PlaceCatalog(monitor.store).add_place(event.place)
+        return incremental and monitor._control_place_added(event.place, cell)
+    if isinstance(event, PlaceRemoved):
+        cell = monitor.store.cell_of_place(event.place_id)
+        old = PlaceCatalog(monitor.store).remove_place(event.place_id)
+        return incremental and monitor._control_place_removed(old, cell)
+    if isinstance(event, PlaceReweighted):
+        cell = monitor.store.cell_of_place(event.place_id)
+        old = PlaceCatalog(monitor.store).reweight(
+            event.place_id, event.required_protection
+        )
+        new = monitor.store.peek_place(event.place_id)
+        return incremental and monitor._control_place_reweighted(old, new, cell)
+    if isinstance(event, KChanged):
+        monitor.config = monitor.config.replace(k=event.k)
+        return incremental and monitor._control_k_changed()
+    if isinstance(event, GridRetuned):
+        # every cell boundary, page assignment and bound moves at once —
+        # there is no incremental patch, by design.
+        monitor._retune_grid(event.granularity)
+        return False
+    if isinstance(event, ShardPlanChanged):
+        reshard = getattr(monitor, "_control_reshard", None)
+        if reshard is None:
+            raise ValueError(
+                "shard_plan_changed applies only to sharded monitors"
+            )
+        return reshard(event.shards, event.strategy, incremental)
+    raise TypeError(f"not a control event: {event!r}")
+
+
+def _ledger_cost(
+    monitor: "CTUPMonitor", token: Mapping[str, object]
+) -> tuple[int, int, int]:
+    """(cells_accessed, places_loaded, page_reads) spent since ``token``.
+
+    A sharded monitor's work snapshot carries the *merged* ledgers (its
+    own counters never move); prefer those when present.
+    """
+    if "merged_counters" in token:
+        counters = monitor.merged_counters() - token["merged_counters"]
+        io = monitor.merged_io() - token["merged_io"]
+    else:
+        counters = monitor.counters - token["counters"]
+        io = monitor.store.io_stats - token["io"]
+    return (
+        int(counters.cells_accessed),
+        int(counters.places_loaded),
+        int(io.page_reads),
+    )
+
+
+def apply_control(
+    monitor: "CTUPMonitor", event: ControlEvent, *, mode: str = "incremental"
+) -> EpochReport:
+    """Apply ``event`` to ``monitor``; returns the epoch receipt."""
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    monitor._require_initialized()
+    kind = event_kind(event)
+    start = time.perf_counter()
+    token = monitor._control_work_snapshot()
+    absorbed = _patch_world_and_scheme(monitor, event, mode == "incremental")
+    if not absorbed:
+        monitor._rebuild_in_place()
+    monitor.epoch += 1
+    cells, places, reads = _ledger_cost(monitor, token)
+    # read the report's SK *inside* the neutral window — schemes that
+    # fetch place records lazily (naive) touch storage to answer it.
+    sk = monitor.sk()
+    monitor._control_work_restore(token)
+    elapsed = time.perf_counter() - start
+    if monitor.obs is not None:
+        monitor.obs.control_event(
+            monitor.name, kind, monitor.epoch, start, elapsed
+        )
+    return EpochReport(
+        epoch=monitor.epoch,
+        kind=kind,
+        rebuilt=not absorbed,
+        seconds=elapsed,
+        cells_accessed=cells,
+        places_loaded=places,
+        page_reads=reads,
+        sk=sk,
+    )

@@ -1,0 +1,66 @@
+"""The mutable place catalog.
+
+:class:`PlaceCatalog` is the sanctioned mutation surface over a
+:class:`~repro.storage.placestore.PlaceStore`: the control plane routes
+every ``place_added`` / ``place_removed`` / ``place_reweighted`` event
+through it, and the RPL015 lint rule flags direct store mutations
+anywhere outside ``repro.storage`` / ``repro.control``.
+
+Besides delegating, the catalog validates event-shaped inputs (so a
+malformed journal entry fails loudly before touching pages) and keeps a
+running mutation count — a cheap freshness check for tests and the
+admin CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.grid.partition import CellId
+from repro.model import Place
+from repro.storage.placestore import PlaceStore
+
+
+class PlaceCatalog:
+    """Add, remove, and reweight places of one store, between batches."""
+
+    def __init__(self, store: PlaceStore) -> None:
+        self._store = store
+        #: catalog mutations applied through this façade.
+        self.mutations = 0
+
+    @property
+    def store(self) -> PlaceStore:
+        """The wrapped store (read-only access stays on the store)."""
+        return self._store
+
+    def __len__(self) -> int:
+        return self._store.place_count
+
+    def __contains__(self, place_id: int) -> bool:
+        return self._store.has_place(int(place_id))
+
+    def __iter__(self) -> Iterator[Place]:
+        return iter(self._store.peek_all_places())
+
+    def add_place(self, place: Place) -> CellId:
+        """Insert ``place``; returns the cell it landed in."""
+        if not isinstance(place, Place):
+            raise TypeError(f"expected a Place, got {type(place).__name__}")
+        cell = self._store.add_place(place)
+        self.mutations += 1
+        return cell
+
+    def remove_place(self, place_id: int) -> Place:
+        """Remove the place with ``place_id``; returns the old record."""
+        place = self._store.remove_place(int(place_id))
+        self.mutations += 1
+        return place
+
+    def reweight(self, place_id: int, required_protection: int) -> Place:
+        """Change a place's required protection; returns the *old* record."""
+        if required_protection < 0:
+            raise ValueError("required_protection cannot be negative")
+        old = self._store.reweight(int(place_id), int(required_protection))
+        self.mutations += 1
+        return old

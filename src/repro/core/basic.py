@@ -207,6 +207,69 @@ class BasicCTUP(CTUPMonitor):
         self.counters.places_loaded += len(places)
         self.counters.distance_rows += len(places) * compared
 
+    # -- reconfiguration (repro.control) ----------------------------------
+
+    def _reset_scheme_state(self) -> None:
+        self.cell_states = {}
+        self.maintained = MaintainedPlaces()
+
+    def _control_place_added(self, place: Place, cell: CellId) -> bool:
+        safety = (
+            float(self.units.ap_of_point(place.location))
+            - place.required_protection
+        )
+        state = self.cell_states.get(cell)
+        if state is None:
+            # a previously empty cell: exact knowledge, tightest bound.
+            self.cell_states[cell] = CellState(
+                lower_bound=safety, place_count=1
+            )
+        elif state.illuminated:
+            self.maintained.insert(place, safety, self.grid.linear(cell))
+            state.place_count += 1
+        else:
+            # dark: the new minimum is at least min(old bound, safety).
+            state.lower_bound = min(state.lower_bound, safety)
+            state.place_count += 1
+        self._refresh()
+        return True
+
+    def _control_place_removed(self, place: Place, cell: CellId) -> bool:
+        state = self.cell_states[cell]
+        if state.illuminated:
+            self.maintained.remove_id(place.place_id)
+        # a dark cell's bound stays sound: removing a place can only
+        # raise the true minimum.
+        state.place_count -= 1
+        if state.place_count == 0:
+            # an empty cell must look exactly like one that never had
+            # places (the store already dropped its directory entry).
+            del self.cell_states[cell]
+        self._refresh()
+        return True
+
+    def _control_place_reweighted(
+        self, old: Place, new: Place, cell: CellId
+    ) -> bool:
+        shift = new.required_protection - old.required_protection
+        state = self.cell_states[cell]
+        if state.illuminated:
+            pid = new.place_id
+            self.maintained.remove_id(pid)
+            self.maintained.insert(
+                new,
+                float(self.units.ap_of_point(new.location))
+                - new.required_protection,
+                self.grid.linear(cell),
+            )
+        elif shift > 0:
+            # safety = ap - required dropped by `shift`; lowering the
+            # bound by the same amount keeps it sound.
+            state.decrease(shift)
+        # shift < 0 on a dark cell: safeties only rose, bound stays sound.
+        self._refresh()
+        return True
+
     # -- result -----------------------------------------------------------
 
     def top_k(self) -> list[SafetyRecord]:

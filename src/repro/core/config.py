@@ -69,8 +69,8 @@ class CTUPConfig:
     buffer_pages: int = 0
 
     def __post_init__(self) -> None:
-        if self.k <= 0:
-            raise ValueError("k must be positive")
+        if self.k < 0:
+            raise ValueError("k cannot be negative")
         if self.delta < 0:
             raise ValueError("delta cannot be negative")
         if self.protection_range <= 0:

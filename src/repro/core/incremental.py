@@ -97,6 +97,14 @@ class IncrementalNaiveCTUP(CTUPMonitor):
         # the full table is always exact — nothing to access.
         return 0
 
+    def _reset_scheme_state(self) -> None:
+        self._ids = np.empty(0, dtype=np.int64)
+        self._xs = np.empty(0, dtype=np.float64)
+        self._ys = np.empty(0, dtype=np.float64)
+        self._safety = np.empty(0, dtype=np.float64)
+        self._place_by_id = {}
+        self._init_cells = 0
+
     def top_k(self) -> list[SafetyRecord]:
         return self.partial_top_k(self.config.k)
 
@@ -111,6 +119,8 @@ class IncrementalNaiveCTUP(CTUPMonitor):
         ]
 
     def sk(self) -> float:
+        if self.config.k <= 0:
+            return -math.inf
         if len(self._safety) == 0:
             return math.inf
         return kth_smallest(self._safety, self.config.k)

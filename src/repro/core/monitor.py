@@ -36,6 +36,7 @@ import warnings
 from typing import TYPE_CHECKING, Any, ClassVar, Iterable, Mapping, Sequence
 
 if TYPE_CHECKING:
+    from repro.control.events import ControlEvent, EpochReport
     from repro.obs.spec import Observability
 
 from repro.core.config import CTUPConfig
@@ -78,9 +79,19 @@ class CTUPMonitor(abc.ABC):
     #: the union over the MRO. Reprolint rule RPL008 enforces that every
     #: field a scheme mutates outside ``__init__`` appears here or in
     #: :attr:`TRANSIENT_FIELDS`.
-    STATE_FIELDS: ClassVar[tuple[str, ...]] = ("units", "counters")
-    #: fields rebuilt (not serialized) on restore.
-    TRANSIENT_FIELDS: ClassVar[tuple[str, ...]] = ("_initialized", "obs")
+    STATE_FIELDS: ClassVar[tuple[str, ...]] = ("units", "counters", "epoch")
+    #: fields rebuilt (not serialized) on restore. ``config`` / ``grid``
+    #: / ``store`` are constructor state: the snapshot *envelope* records
+    #: the config, and ``restore_monitor`` rebuilds all three from it —
+    #: they only ever change through ``_retune_grid`` (a journaled
+    #: control event), so a restored monitor re-derives the same world.
+    TRANSIENT_FIELDS: ClassVar[tuple[str, ...]] = (
+        "_initialized",
+        "obs",
+        "config",
+        "grid",
+        "store",
+    )
 
     def __init__(
         self,
@@ -110,6 +121,9 @@ class CTUPMonitor(abc.ABC):
                 f"{self.units.protection_range}"
             )
         self.counters = MonitorCounters()
+        #: reconfiguration epoch — bumped once per applied control event
+        #: (see :mod:`repro.control`). Epoch 0 is the initial world.
+        self.epoch = 0
         #: optional observability bundle; attached from outside via
         #: :func:`repro.obs.attach_observability` (never serialized).
         #: The hot path pays one ``is None`` check when detached.
@@ -324,6 +338,7 @@ class CTUPMonitor(abc.ABC):
             },
             "store_cache": self.store.export_cache_state(),
             "counters": self.counters.as_dict(),
+            "epoch": self.epoch,
             "scheme_state": self._export_scheme_state(),
         }
 
@@ -354,6 +369,7 @@ class CTUPMonitor(abc.ABC):
         self.units.restore_positions(state["units"])
         self._restore_scheme_state(state["scheme_state"])
         self.restore_counter_state(state)
+        self.epoch = int(state.get("epoch", 0))
         self._initialized = True
 
     def restore_counter_state(self, state: Mapping[str, Any]) -> None:
@@ -380,6 +396,107 @@ class CTUPMonitor(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not restore scheme state"
         )
+
+    # -- reconfiguration (the control plane, repro.control) ---------------
+
+    def apply_control(
+        self, event: "ControlEvent", *, mode: str = "incremental"
+    ) -> "EpochReport":
+        """Apply one control event (see :mod:`repro.control`).
+
+        Returns the :class:`~repro.control.events.EpochReport` receipt.
+        ``mode="rebuild"`` forces the documented fallback — rebuild the
+        scheme's derived state from scratch over the patched world —
+        even when an incremental patch exists; equivalence between the
+        two is the control plane's core guarantee.
+        """
+        # local import: repro.control sits above repro.core in the layering.
+        from repro.control.apply import apply_control
+
+        return apply_control(self, event, mode=mode)
+
+    def _control_work_snapshot(self) -> dict[str, Any]:
+        """Freeze every work ledger before a control application.
+
+        Control work is billed to the :class:`EpochReport`, not to the
+        monitor's counters — reconfiguring must not perturb the run
+        being measured. The token is consumed by
+        :meth:`_control_work_restore`.
+        """
+        return {
+            "counters": self.counters.snapshot(),
+            "io": self.store.io_stats.snapshot(),
+            "units": self.units.stats.snapshot(),
+        }
+
+    def _control_work_restore(self, token: Mapping[str, Any]) -> None:
+        """Re-pin every work ledger to its pre-control values.
+
+        Reads the *current* ``self.store`` — a grid retune swaps the
+        store object, and the fresh store's ledger is the one that must
+        carry the pre-control totals forward.
+        """
+        self.counters.restore(token["counters"])
+        self.store.io_stats.restore(token["io"])
+        self.units.stats.restore(token["units"])
+
+    def _reset_scheme_state(self) -> None:
+        """Scheme hook: drop all derived structures so that
+        ``_build_initial_state`` can run again (the rebuild fallback).
+
+        Must return every scheme-owned field to its post-``__init__``
+        value; the world state (store, units, config) is left alone.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support control rebuilds"
+        )
+
+    def _rebuild_in_place(self) -> None:
+        """The documented fallback: rebuild derived state from scratch.
+
+        Equivalent to constructing a fresh monitor over the current
+        world and initializing it — but in place, preserving identity,
+        unit positions, and (via the control wrapper) the work ledgers.
+        """
+        self._reset_scheme_state()
+        self._build_initial_state()
+
+    def _retune_grid(self, granularity: int) -> None:
+        """World patch for ``grid_retuned``: swap grid and store.
+
+        Every cell boundary and page assignment moves at once, so the
+        caller always follows with :meth:`_rebuild_in_place`.
+        """
+        places = self.store.peek_all_places()
+        self.config = self.config.replace(granularity=granularity)
+        self.grid = GridPartition(self.config.space, granularity, granularity)
+        self.store = PlaceStore(
+            self.grid,
+            places,
+            page_capacity=self.config.page_capacity,
+            buffer_pages=self.config.buffer_pages,
+        )
+        if self.config.use_unit_grid:
+            self.units.attach_grid(self.grid)
+
+    # incremental patch hooks: return True when the scheme absorbed the
+    # (already world-patched) event incrementally, False to request the
+    # rebuild fallback. The base class declines everything except a k
+    # change, which any scheme absorbs by re-establishing its result
+    # invariant against the new SK.
+
+    def _control_place_added(self, place: Place, cell: Any) -> bool:
+        return False
+
+    def _control_place_removed(self, place: Place, cell: Any) -> bool:
+        return False
+
+    def _control_place_reweighted(self, old: Place, new: Place, cell: Any) -> bool:
+        return False
+
+    def _control_k_changed(self) -> bool:
+        self._refresh()
+        return True
 
     # -- shared helpers --------------------------------------------------
 

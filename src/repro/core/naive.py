@@ -89,6 +89,12 @@ class NaiveCTUP(CTUPMonitor):
         self.counters.cells_accessed += len(self._plan)
         return len(self._plan)
 
+    def _reset_scheme_state(self) -> None:
+        # _build_initial_state appends to the plan — it must start empty.
+        self._ids = np.empty(0, dtype=np.int64)
+        self._safety = np.empty(0, dtype=np.float64)
+        self._plan = []
+
     def top_k(self) -> list[SafetyRecord]:
         return self.partial_top_k(self.config.k)
 
@@ -113,6 +119,8 @@ class NaiveCTUP(CTUPMonitor):
         raise IndexError(f"row {row} not in any cell")
 
     def sk(self) -> float:
+        if self.config.k <= 0:
+            return -math.inf
         if len(self._safety) == 0:
             return math.inf
         return kth_smallest(self._safety, self.config.k)

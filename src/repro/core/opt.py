@@ -298,6 +298,70 @@ class OptCTUP(CTUPMonitor):
         drop = rows[(safeties >= threshold) & (safeties > sk)]
         state.lower_bound = self.maintained.remove_rows(drop.tolist())
 
+    # -- reconfiguration (repro.control) ------------------------------------
+
+    def _reset_scheme_state(self) -> None:
+        self.cell_states = {}
+        self.maintained = MaintainedPlaces()
+        self.dechash = DecHash()
+        # _delta is a tuning knob, not derived state: it survives rebuilds.
+
+    def _control_place_added(self, place: Place, cell: CellId) -> bool:
+        safety = (
+            float(self.units.ap_of_point(place.location))
+            - place.required_protection
+        )
+        state = self.cell_states.get(cell)
+        if state is None:
+            # a previously empty cell: exact knowledge, tightest bound.
+            self.cell_states[cell] = CellState(
+                lower_bound=safety, place_count=1
+            )
+        else:
+            # OptCTUP never illuminates wholesale — the cheap sound move
+            # is to fold the new place under the cell's bound; the next
+            # access promotes it into the maintained band if warranted.
+            state.lower_bound = min(state.lower_bound, safety)
+            state.place_count += 1
+        self._refresh()
+        return True
+
+    def _control_place_removed(self, place: Place, cell: CellId) -> bool:
+        state = self.cell_states[cell]
+        if place.place_id in self.maintained:
+            self.maintained.remove_id(place.place_id)
+        # otherwise the place sat under the cell bound; removing it can
+        # only raise the true minimum, so the bound stays sound.
+        state.place_count -= 1
+        if state.place_count == 0:
+            # an empty cell must look exactly like one that never had
+            # places; drop its DecHash pairs with it.
+            del self.cell_states[cell]
+            self.dechash.clear_cell(cell)
+        self._refresh()
+        return True
+
+    def _control_place_reweighted(
+        self, old: Place, new: Place, cell: CellId
+    ) -> bool:
+        shift = new.required_protection - old.required_protection
+        state = self.cell_states[cell]
+        if new.place_id in self.maintained:
+            self.maintained.remove_id(new.place_id)
+            self.maintained.insert(
+                new,
+                float(self.units.ap_of_point(new.location))
+                - new.required_protection,
+                self.grid.linear(cell),
+            )
+        elif shift > 0:
+            # safety = ap - required dropped by `shift` for a place the
+            # bound covers; lower the bound by the same amount.
+            state.decrease(shift)
+        # shift < 0 on a covered place: safeties only rose, bound sound.
+        self._refresh()
+        return True
+
     # -- result -------------------------------------------------------------
 
     def top_k(self) -> list[SafetyRecord]:

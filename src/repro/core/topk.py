@@ -29,8 +29,26 @@ if TYPE_CHECKING:
 _INITIAL_CAPACITY = 64
 
 
+def tie_key(safety: float, place_id: int) -> tuple[float, int]:
+    """THE ``(safety, id)`` ranking key — the single tie-break comparator.
+
+    Every surface that orders safety records (the maintained table, the
+    naïve monitors, the sharded merger, and the ``ext/`` schemes'
+    result lists) must sort by this key so equal safeties always break
+    by ascending place id; see :func:`topk_rows` for the full contract.
+    """
+    return (float(safety), int(place_id))
+
+
 def kth_smallest(safety: np.ndarray, k: int) -> float:
-    """The k-th smallest value of ``safety``; ``+inf`` with < k values."""
+    """The k-th smallest value of ``safety``; ``+inf`` with < k values.
+
+    ``k <= 0`` yields ``-inf``: a degenerate top-0 query has an empty
+    result, and ``-inf`` is the SK that makes every maintenance guard
+    (``safety < SK`` and friends) vacuously false.
+    """
+    if k <= 0:
+        return -math.inf
     if len(safety) < k:
         return math.inf
     return float(np.partition(safety, k - 1)[k - 1])
@@ -55,7 +73,7 @@ def topk_rows(ids: np.ndarray, safety: np.ndarray, k: int) -> np.ndarray:
     ``CTUPMonitor.top_k``).
     """
     n = len(safety)
-    if n == 0:
+    if n == 0 or k <= 0:
         return np.empty(0, dtype=np.int64)
     take = min(k, n)
     if n > take:
@@ -257,8 +275,11 @@ class MaintainedPlaces:
         """The k-th smallest maintained safety; ``+inf`` with < k rows.
 
         With fewer than ``k`` places maintained, *every* place qualifies
-        as top-k, so the threshold is unbounded.
+        as top-k, so the threshold is unbounded. ``k <= 0`` yields
+        ``-inf`` (see :func:`kth_smallest`).
         """
+        if k <= 0:
+            return -math.inf
         if self._n < k:
             return math.inf
         return float(np.partition(self._safety[: self._n], k - 1)[k - 1])

@@ -16,7 +16,10 @@ at well-defined points of the update pipeline:
 * ``on_batch_flush(updates, report)`` — a burst was flushed (batch mode
   only), after its ``on_update_end`` calls;
 * ``on_topk_change(change)`` — the result moved (after ``on_update_end``
-  / ``on_batch_flush``).
+  / ``on_batch_flush``);
+* ``on_control(event, report)`` — a reconfiguration event was applied
+  (see :mod:`repro.control`); fires after the epoch bump, with the
+  :class:`~repro.control.events.EpochReport` receipt.
 
 All methods are no-ops by default; subclasses override what they need.
 Hooks run synchronously on the ingest path — keep them cheap, or hand
@@ -51,6 +54,13 @@ class MonitorHooks:
 
     def on_refresh(self, accessed: int) -> None:
         """An access phase completed, touching ``accessed`` cells."""
+
+    def on_control(self, event: object, report: object) -> None:
+        """A control event was applied; ``report`` is the epoch receipt.
+
+        Typed loosely (``object``) so this layer does not import
+        :mod:`repro.control`, which sits above it.
+        """
 
 
 class HookList(MonitorHooks):
@@ -88,3 +98,7 @@ class HookList(MonitorHooks):
     def on_refresh(self, accessed):
         for hook in self.hooks:
             hook.on_refresh(accessed)
+
+    def on_control(self, event, report):
+        for hook in self.hooks:
+            hook.on_control(event, report)

@@ -51,6 +51,7 @@ class MonitorSession:
         checkpoint: CheckpointPolicy | None = None,
         coalesce: bool = True,
         obs: "Observability | None" = None,
+        control_mode: str = "incremental",
     ) -> None:
         """``batch_size`` > 0 buffers updates and flushes them through
         the phase API as exact bursts; each burst is move-coalesced
@@ -96,6 +97,14 @@ class MonitorSession:
         )
         self._pending: list[LocationUpdate] = []
         self._started = False
+        if control_mode not in ("incremental", "rebuild"):
+            raise ValueError(
+                "control_mode must be 'incremental' or 'rebuild' "
+                f"(got {control_mode!r})"
+            )
+        #: default application mode for ``apply_control`` (see
+        #: ``repro.api.ControlSpec``); per-call ``mode=`` overrides it.
+        self.control_mode = control_mode
         self.checkpoint_policy = checkpoint
         self._checkpoint_store = (
             CheckpointStore(checkpoint.directory) if checkpoint else None
@@ -271,6 +280,40 @@ class MonitorSession:
         self.flush()
         return count
 
+    def apply_control(self, event: object, *, mode: str | None = None):
+        """Apply a reconfiguration event at a batch boundary.
+
+        Flushes any buffered burst first (control events only ever apply
+        between batches — the same consistent-cut rule as snapshots),
+        journals the event write-ahead, applies it through
+        :func:`repro.control.apply_control`, and primes the change
+        tracker on the new world. ``mode`` defaults to the session's
+        ``control_mode``. Returns the
+        :class:`~repro.control.events.EpochReport`.
+        """
+        # local import: repro.control sits above repro.engine's core deps.
+        from repro.control.events import encode_event
+
+        if mode is None:
+            mode = self.control_mode
+        if not self._started:
+            self.start()
+        self.flush()
+        seq = 0
+        if self._journal is not None and not self._replaying:
+            payload = encode_event(event)
+            payload["mode"] = mode
+            seq = self._journal.append_control(payload)
+        report = self.monitor.apply_control(event, mode=mode)
+        if seq:
+            self._applied_seq = seq
+        if self.track_changes:
+            # the world changed under the tracker: re-prime rather than
+            # report a spurious top-k "change".
+            self.tracker.prime()
+        self.hooks.on_control(event, report)
+        return report
+
     # -- checkpointing & recovery -----------------------------------------
 
     def checkpoint(self) -> Path:
@@ -332,6 +375,13 @@ class MonitorSession:
             for record in records:
                 if record.is_flush:
                     self.flush()
+                elif record.is_control:
+                    from repro.control.events import decode_event
+
+                    assert record.control is not None
+                    payload = dict(record.control)
+                    mode = payload.pop("mode", "incremental")
+                    self.apply_control(decode_event(payload), mode=mode)
                 else:
                     assert record.update is not None
                     self.feed(record.update)
@@ -357,6 +407,9 @@ class MonitorSession:
             self._metrics_server.stop()
             self._metrics_server = None
         if self._journal is not None:
+            # make the tail durable even when no on-close snapshot ran —
+            # a crash right after close() must lose nothing.
+            self._journal.sync()
             self._journal.close()
 
     def __enter__(self) -> "MonitorSession":

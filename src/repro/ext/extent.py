@@ -35,6 +35,7 @@ from repro.core.config import CTUPConfig
 from repro.core.metrics import InitReport, MonitorCounters, UpdateReport
 from repro.core.monitor import STATE_VERSION, collect_declared_fields
 from repro.core.tables import table1_delta
+from repro.core.topk import tie_key
 from repro.core.units import UnitIndex, UnitKernelStats
 from repro.geometry import Circle, Point, Rect
 from repro.geometry.relations import classify_circle_rect
@@ -358,7 +359,8 @@ class ExtentCTUP:
     def top_k(self) -> list[ExtentRecord]:
         """The k least safe places, ties broken by place id."""
         ranked = sorted(
-            self._maintained.values(), key=lambda ps: (ps[1], ps[0].place_id)
+            self._maintained.values(),
+            key=lambda ps: tie_key(ps[1], ps[0].place_id),
         )
         return [
             ExtentRecord(place, safety)

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.config import CTUPConfig
 from repro.core.opt import OptCTUP
+from repro.core.topk import tie_key
 from repro.model import Place, SafetyRecord, Unit
 
 
@@ -56,7 +57,7 @@ class ThresholdCTUP(OptCTUP):
             for pid, safety in self.maintained.safeties_snapshot().items()
             if safety < self._tau
         ]
-        result.sort(key=lambda r: (r.safety, r.place_id))
+        result.sort(key=lambda r: tie_key(r.safety, r.place_id))
         return result
 
     def top_k(self) -> list[SafetyRecord]:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    catalog,
     contracts,
     counters,
     deprecation,

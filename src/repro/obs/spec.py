@@ -103,6 +103,32 @@ class Observability:
         self._phase_hist.labels(scheme=scheme, phase=phase).observe(duration_s)
         self.tracer.record(phase, "monitor", start_s, duration_s, scheme=scheme, **args)
 
+    def control_event(
+        self,
+        scheme: str,
+        kind: str,
+        epoch: int,
+        start_s: float,
+        duration_s: float,
+    ) -> None:
+        """Record one applied reconfiguration event (see repro.control):
+        the epoch gauge, a per-kind counter, and a span."""
+        if not self.registry.enabled and isinstance(self.tracer, NullTracer):
+            return
+        self.registry.gauge(
+            "ctup_epoch", "Current reconfiguration epoch, by scheme.",
+            labelnames=("scheme",),
+        ).labels(scheme=scheme).set(float(epoch))
+        self.registry.counter(
+            "ctup_control_events_total",
+            "Control events applied, by kind.",
+            labelnames=("kind",),
+        ).labels(kind=kind).inc()
+        self.tracer.record(
+            "control.apply", "control", start_s, duration_s,
+            scheme=scheme, kind=kind, epoch=epoch,
+        )
+
     def add_sync(self, callback: Callable[[], None]) -> None:
         """Register a callback run before every exposition snapshot."""
         self._sync_callbacks.append(callback)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro.core.topk import tie_key
 from repro.model import SafetyRecord
 
 if TYPE_CHECKING:
@@ -35,7 +36,7 @@ _FLOOR_ID = -(2**62)
 
 
 def _pair(record: SafetyRecord) -> tuple[float, int]:
-    return (record.safety, record.place_id)
+    return tie_key(record.safety, record.place_id)
 
 
 @dataclass(slots=True)
@@ -62,8 +63,8 @@ class GlobalTopK:
     """Merges per-shard partial top-k lists into the exact global top-k."""
 
     def __init__(self, k: int, initial_request: int | None = None) -> None:
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+        if k < 0:
+            raise ValueError(f"k cannot be negative, got {k}")
         self.k = k
         #: records requested from each shard on the first pull; defaults
         #: to ``ceil(k / S) + 1`` (the expected share plus slack).
@@ -77,6 +78,11 @@ class GlobalTopK:
         if not monitors:
             raise ValueError("cannot merge zero shards")
         k = self.k
+        if k == 0:
+            # top-0 is empty by definition; still bill the merge so the
+            # work ledger sees every merger invocation.
+            self.stats.merges += 1
+            return []
         first = self.initial_request or (-(-k // len(monitors)) + 1)
         requested = [min(k, first)] * len(monitors)
         pulled: list[list[SafetyRecord]] = [[] for _ in monitors]

@@ -42,7 +42,7 @@ if TYPE_CHECKING:
 
 from repro.core.config import CTUPConfig
 from repro.core.metrics import InitReport, MonitorCounters
-from repro.core.monitor import CTUPMonitor
+from repro.core.monitor import STATE_VERSION, CTUPMonitor
 from repro.core.units import UnitKernelStats
 from repro.model import (
     CoalescedMove,
@@ -81,8 +81,20 @@ class ShardedMonitor(CTUPMonitor):
         "sync_deliveries",
         "plan",
         "scheme_name",
+        "_retired_counters",
+        "_retired_io",
+        "_retired_units",
     )
-    TRANSIENT_FIELDS = ("_merge_cache", "_pool", "_init_reports")
+    TRANSIENT_FIELDS = (
+        "_merge_cache",
+        "_pool",
+        "_init_reports",
+        "_factory",
+        "_strategy",
+        "_shards",
+        "router",
+        "merger",
+    )
 
     def __init__(
         self,
@@ -112,6 +124,19 @@ class ShardedMonitor(CTUPMonitor):
         self.scheme_name = getattr(
             factory, "name", getattr(factory, "__name__", "custom")
         )
+        #: kept for reconfiguration: resharding and rebuilds construct
+        #: fresh shard monitors through the same factory/placement.
+        self._factory = factory
+        self._strategy = strategy
+        #: ledgers of shard monitors that no longer exist (replaced by a
+        #: reshard or a control rebuild). Folding them into ``merged_*``
+        #: keeps the merged work totals monotone across reconfigurations;
+        #: the control wrapper may drive individual fields negative to
+        #: keep the merged totals exactly neutral, which is fine — they
+        #: are correction terms, not counters anyone reads directly.
+        self._retired_counters = MonitorCounters()
+        self._retired_io = IoStats()
+        self._retired_units = UnitKernelStats()
         fleet = list(self.units)
         self._shards = tuple(
             _Shard(s, factory(config, shard_places, fleet))
@@ -287,6 +312,8 @@ class ShardedMonitor(CTUPMonitor):
         return list(self._merged())
 
     def sk(self) -> float:
+        if self.config.k <= 0:
+            return -math.inf
         merged = self._merged()
         if len(merged) < self.config.k:
             return math.inf
@@ -311,20 +338,29 @@ class ShardedMonitor(CTUPMonitor):
         distance rows — happens inside the shard monitors and is
         aggregated here.
         """
+        return self._child_counters() + self._retired_counters
+
+    def merged_io(self) -> IoStats:
+        """Page-level I/O summed over all shard stores."""
+        return self._child_io() + self._retired_io
+
+    def merged_unit_stats(self) -> UnitKernelStats:
+        """Reachability-prefilter work summed over all shard indexes."""
+        return self._child_units() + self._retired_units
+
+    def _child_counters(self) -> MonitorCounters:
         total = MonitorCounters()
         for sh in self._shards:
             total = total + sh.monitor.counters
         return total
 
-    def merged_io(self) -> IoStats:
-        """Page-level I/O summed over all shard stores."""
+    def _child_io(self) -> IoStats:
         total = IoStats()
         for sh in self._shards:
             total = total + sh.monitor.store.io_stats
         return total
 
-    def merged_unit_stats(self) -> UnitKernelStats:
-        """Reachability-prefilter work summed over all shard indexes."""
+    def _child_units(self) -> UnitKernelStats:
         total = UnitKernelStats()
         for sh in self._shards:
             total = total + sh.monitor.units.stats
@@ -354,6 +390,21 @@ class ShardedMonitor(CTUPMonitor):
                 "refills": self.merger.stats.refills,
                 "records_pulled": self.merger.stats.records_pulled,
             },
+            "retired": {
+                "counters": self._retired_counters.as_dict(),
+                "io": {
+                    "page_reads": self._retired_io.page_reads,
+                    "buffered_reads": self._retired_io.buffered_reads,
+                    "page_writes": self._retired_io.page_writes,
+                    "array_hits": self._retired_io.array_hits,
+                },
+                "units": {
+                    "queries": self._retired_units.queries,
+                    "candidate_units": self._retired_units.candidate_units,
+                    "reachable_units": self._retired_units.reachable_units,
+                    "coalesced_updates": self._retired_units.coalesced_updates,
+                },
+            },
             "shards": [sh.monitor.export_state() for sh in self._shards],
         }
 
@@ -376,7 +427,23 @@ class ShardedMonitor(CTUPMonitor):
         self.full_deliveries = int(fields["full_deliveries"])
         self.sync_deliveries = int(fields["sync_deliveries"])
         self.merger.stats.restore(MergeStats(**fields["merge_stats"]))
+        self._restore_retired(fields)
         self._merge_cache = None
+
+    def _restore_retired(self, fields: Mapping[str, Any]) -> None:
+        # snapshots from before the control plane carry no retired
+        # ledgers; zeros are exactly right for them.
+        retired = fields.get("retired")
+        if retired is None:
+            self._retired_counters = MonitorCounters()
+            self._retired_io = IoStats()
+            self._retired_units = UnitKernelStats()
+        else:
+            self._retired_counters = MonitorCounters.from_dict(
+                retired["counters"]
+            )
+            self._retired_io = IoStats(**retired["io"])
+            self._retired_units = UnitKernelStats(**retired["units"])
 
     def restore_counter_state(self, state: Mapping[str, Any]) -> None:
         # the priming read after a resume re-runs the global merge, which
@@ -386,7 +453,192 @@ class ShardedMonitor(CTUPMonitor):
         for sh, child_state in zip(self._shards, fields["shards"]):
             sh.monitor.restore_counter_state(child_state)
         self.merger.stats.restore(MergeStats(**fields["merge_stats"]))
+        self._restore_retired(fields)
         super().restore_counter_state(state)
+
+    # -- reconfiguration (repro.control) ----------------------------------
+
+    def _control_work_snapshot(self) -> dict[str, Any]:
+        token = super()._control_work_snapshot()
+        token["merged_counters"] = self.merged_counters()
+        token["merged_io"] = self.merged_io()
+        token["merged_units"] = self.merged_unit_stats()
+        token["merge_stats"] = MergeStats(
+            self.merger.stats.merges,
+            self.merger.stats.shards_queried,
+            self.merger.stats.refills,
+            self.merger.stats.records_pulled,
+        )
+        return token
+
+    def _control_work_restore(self, token: Mapping[str, Any]) -> None:
+        super()._control_work_restore(token)
+        # make the *merged* ledgers exactly neutral, whatever happened to
+        # the children (incremental patches, rebuilds, a full reshard):
+        # retired = saved merged totals - what the current children hold.
+        self._retired_counters = token["merged_counters"] - self._child_counters()
+        self._retired_io = token["merged_io"] - self._child_io()
+        self._retired_units = token["merged_units"] - self._child_units()
+        self.merger.stats.restore(token["merge_stats"])
+
+    def _reset_scheme_state(self) -> None:
+        """Rebuild fallback: fresh shard monitors over the current world.
+
+        The plan is recomputed when the grid changed under it (a grid
+        retune); otherwise the current plan is kept — resharding swaps
+        the plan *before* requesting a rebuild.
+        """
+        if self.plan.grid is not self.grid:
+            self.plan = plan_for(self.grid, self.plan.n_shards, self._strategy)
+        self.router = ShardRouter(self.plan, self.config.protection_range)
+        merger = GlobalTopK(self.config.k, self.merger.initial_request)
+        merger.stats.restore(self.merger.stats)
+        self.merger = merger
+        self.close()
+        fleet = list(self.units)
+        places = self.store.peek_all_places()
+        self._shards = tuple(
+            _Shard(s, self._factory(self.config, shard_places, fleet))
+            for s, shard_places in enumerate(self.plan.split_places(places))
+        )
+        self._init_reports = []
+        self._merge_cache = None
+
+    def _route_place_event(self, event: Any, cell: Any) -> bool:
+        """Deliver an (already globally applied) place event to the one
+        shard monitor owning the place's cell."""
+        # local import: repro.control sits above repro.shard.
+        from repro.control.apply import apply_control
+
+        shard = self.plan.shard_of_cell(cell)
+        apply_control(self._shards[shard].monitor, event, mode="incremental")
+        self._merge_cache = None
+        return True
+
+    def _control_place_added(self, place: Place, cell: Any) -> bool:
+        from repro.control.events import PlaceAdded
+
+        return self._route_place_event(PlaceAdded(place), cell)
+
+    def _control_place_removed(self, place: Place, cell: Any) -> bool:
+        from repro.control.events import PlaceRemoved
+
+        return self._route_place_event(PlaceRemoved(place.place_id), cell)
+
+    def _control_place_reweighted(
+        self, old: Place, new: Place, cell: Any
+    ) -> bool:
+        from repro.control.events import PlaceReweighted
+
+        return self._route_place_event(
+            PlaceReweighted(new.place_id, new.required_protection), cell
+        )
+
+    def _control_k_changed(self) -> bool:
+        from repro.control.apply import apply_control
+        from repro.control.events import KChanged
+
+        for sh in self._shards:
+            apply_control(
+                sh.monitor, KChanged(self.config.k), mode="incremental"
+            )
+        merger = GlobalTopK(self.config.k, self.merger.initial_request)
+        merger.stats.restore(self.merger.stats)
+        self.merger = merger
+        self._merge_cache = None
+        return True
+
+    def _control_reshard(
+        self, shards: int, strategy: str, incremental: bool
+    ) -> bool:
+        """Online resharding: swap the plan, migrate per-cell state.
+
+        For the grid-bound schemes (basic/opt) the per-shard state is
+        keyed by cell, so moving a cell between shards means moving its
+        ``CellState`` row and its maintained-place rows verbatim — the
+        migration below does exactly that through the snapshot codecs,
+        then restores fresh shard monitors from the synthesized
+        documents. DecHash pairs are *not* migrated: an empty DecHash
+        only re-arms one decrease per (unit, cell), which keeps bounds
+        sound and matches what a from-scratch rebuild produces. Other
+        schemes (and ``mode="rebuild"``) fall back to fresh shard
+        monitors initialized over the new plan.
+        """
+        if any(sh.queue for sh in self._shards):
+            raise ValueError(
+                "cannot reshard with pending shard deliveries; "
+                "flush the batch first (consistent-cut rule)"
+            )
+        new_plan = plan_for(self.grid, shards, strategy)
+        self._strategy = strategy
+        if not incremental or self.scheme_name not in ("basic", "opt"):
+            self.plan = new_plan
+            return False
+        old_docs = [sh.monitor.export_state() for sh in self._shards]
+        units_rows = old_docs[0]["units"]
+        cell_rows: list[list[Any]] = [[] for _ in range(new_plan.n_shards)]
+        maint_rows: list[list[Any]] = [[] for _ in range(new_plan.n_shards)]
+        for doc in old_docs:
+            scheme_state = doc["scheme_state"]
+            for row in scheme_state["cell_states"]:
+                cell = self.grid.from_linear(int(row[0]))
+                cell_rows[new_plan.shard_of_cell(cell)].append(row)
+            for row in scheme_state["maintained"]:
+                cell = self.grid.from_linear(int(row[2]))
+                maint_rows[new_plan.shard_of_cell(cell)].append(row)
+        docs = []
+        for s in range(new_plan.n_shards):
+            scheme_state: dict[str, Any] = {
+                "cell_states": cell_rows[s],
+                "maintained": maint_rows[s],
+            }
+            if self.scheme_name == "opt":
+                scheme_state["dechash"] = []
+                scheme_state["delta"] = old_docs[0]["scheme_state"]["delta"]
+            docs.append(
+                {
+                    "state_version": STATE_VERSION,
+                    "scheme": self.scheme_name,
+                    "units": units_rows,
+                    "unit_stats": {
+                        "queries": 0,
+                        "candidate_units": 0,
+                        "reachable_units": 0,
+                        "coalesced_updates": 0,
+                    },
+                    "io": {
+                        "page_reads": 0,
+                        "buffered_reads": 0,
+                        "page_writes": 0,
+                        "array_hits": 0,
+                    },
+                    "store_cache": {
+                        "arrays": [],
+                        "frames": [],
+                        "buffer_hits": 0,
+                        "buffer_misses": 0,
+                    },
+                    "counters": MonitorCounters().as_dict(),
+                    "epoch": 0,
+                    "scheme_state": scheme_state,
+                }
+            )
+        self.close()
+        fleet = list(self.units)
+        places = self.store.peek_all_places()
+        children = [
+            self._factory(self.config, shard_places, fleet)
+            for shard_places in new_plan.split_places(places)
+        ]
+        for child, doc in zip(children, docs):
+            child.restore_state(doc)
+        self.plan = new_plan
+        self.router = ShardRouter(new_plan, self.config.protection_range)
+        self._shards = tuple(
+            _Shard(s, child) for s, child in enumerate(children)
+        )
+        self._merge_cache = None
+        return True
 
     # -- executor lifecycle ----------------------------------------------
 

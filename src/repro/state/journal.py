@@ -1,6 +1,6 @@
 """The append-only update journal (write-ahead log).
 
-One JSON line per record, three record kinds:
+One JSON line per record, four record kinds:
 
 ``"u"``
     a single-mode update, journaled *before* it is processed
@@ -12,7 +12,12 @@ One JSON line per record, three record kinds:
 ``"f"``
     a flush marker, written *after* the buffered batch was processed —
     so a consistent snapshot always refers to a ``"u"`` or ``"f"``
-    sequence number, never to the middle of a burst.
+    sequence number, never to the middle of a burst;
+``"c"``
+    a control event (see :mod:`repro.control`), journaled write-ahead
+    like ``"u"``. The payload is the raw event codec dict — this module
+    stays below ``repro.control`` in the layering and never interprets
+    it.
 
 Records carry monotonically increasing sequence numbers. Reopening an
 existing journal continues the sequence; a torn tail (a partial or
@@ -40,10 +45,11 @@ from repro.model import LocationUpdate
 if TYPE_CHECKING:
     from repro.obs.spec import Observability
 
-#: single-mode update, batch-buffered update, flush marker.
+#: single-mode update, batch-buffered update, flush marker, control event.
 OP_UPDATE = "u"
 OP_BATCHED = "b"
 OP_FLUSH = "f"
+OP_CONTROL = "c"
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,15 +58,25 @@ class JournalRecord:
 
     seq: int
     op: str
-    #: ``None`` for flush markers.
+    #: ``None`` for flush markers and control events.
     update: LocationUpdate | None = None
+    #: raw control-event payload (``"c"`` records only).
+    control: dict | None = None
 
     @property
     def is_flush(self) -> bool:
         return self.op == OP_FLUSH
 
+    @property
+    def is_control(self) -> bool:
+        return self.op == OP_CONTROL
+
 
 def _encode(record: JournalRecord) -> str:
+    if record.op == OP_CONTROL:
+        return json.dumps(
+            {"q": record.seq, "op": record.op, "c": record.control}
+        )
     if record.update is None:
         return json.dumps({"q": record.seq, "op": record.op})
     update = record.update
@@ -82,6 +98,11 @@ def _decode(line: str) -> JournalRecord:
     op = data["op"]
     if op == OP_FLUSH:
         return JournalRecord(seq, op)
+    if op == OP_CONTROL:
+        control = data["c"]
+        if not isinstance(control, dict):
+            raise ValueError("control record payload must be a dict")
+        return JournalRecord(seq, op, control=control)
     if op not in (OP_UPDATE, OP_BATCHED):
         raise ValueError(f"unknown journal op {op!r}")
     return JournalRecord(
@@ -151,6 +172,28 @@ class UpdateJournal:
     def append_flush(self) -> int:
         """Journal a flush marker (the buffered batch was processed)."""
         return self._append(JournalRecord(self._last_seq + 1, OP_FLUSH))
+
+    def append_control(self, payload: dict) -> int:
+        """Journal a control event (write-ahead, like ``"u"``).
+
+        ``payload`` is the :func:`repro.control.events.encode_event`
+        dict; this layer treats it as opaque.
+        """
+        return self._append(
+            JournalRecord(self._last_seq + 1, OP_CONTROL, control=payload)
+        )
+
+    def sync(self) -> None:
+        """Force the journal tail to disk (idempotent, safe when closed).
+
+        Every append already flushes and fsyncs, so this is a formal
+        barrier for ``close()`` paths — it guarantees durability even if
+        the append discipline ever gains buffering.
+        """
+        if self._file.closed:
+            return
+        self._file.flush()
+        os.fsync(self._file.fileno())
 
     def _append(self, record: JournalRecord) -> int:
         obs = self.obs

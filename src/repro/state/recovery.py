@@ -237,8 +237,41 @@ class RecoveryManager:
     def _restore(self, document: dict[str, Any]) -> Any:
         return restore_monitor(
             document,
-            places=self.places,
+            places=self._folded_places(int(document.get("journal_seq", 0))),
             units=self.units,
             factory=self.factory,
             parallelism=self.parallelism,
         )
+
+    def _folded_places(self, journal_seq: int) -> Sequence[Place]:
+        """The place set in force at ``journal_seq``.
+
+        The snapshot's config already carries post-control ``k`` /
+        granularity, and its exported plan the shard layout — but the
+        *place catalog* reaches :func:`restore_monitor` as a plain list,
+        typically the workload's original one. Any catalog mutations the
+        journal records before the snapshot cut must be folded in first,
+        or the rebuilt store (and its fingerprint) describes the wrong
+        world.
+        """
+        if journal_seq <= 0 or not self.store.journal_path.exists():
+            return self.places
+        # local imports: repro.control sits above repro.state.
+        from repro.control.events import decode_event
+        from repro.control.replay import fold_places
+        from repro.state.journal import UpdateJournal
+
+        journal = UpdateJournal(self.store.journal_path)
+        try:
+            events = [
+                decode_event(
+                    {k: v for k, v in record.control.items() if k != "mode"}
+                )
+                for record in journal.records()
+                if record.is_control and record.seq <= journal_seq
+            ]
+        finally:
+            journal.close()
+        if not events:
+            return self.places
+        return fold_places(self.places, events)

@@ -125,6 +125,10 @@ def snapshot_monitor(
         "scheme": state["scheme"],
         "config": encode_config(monitor.config),  # type: ignore[attr-defined]
         "journal_seq": journal_seq,
+        # which reconfiguration epoch this cut belongs to (see
+        # repro.control); informational at the envelope level — the
+        # authoritative copy restores from the state payload.
+        "epoch": getattr(monitor, "epoch", 0),
         "session": dict(session or {}),
         "state": state,
     }

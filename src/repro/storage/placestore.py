@@ -68,6 +68,7 @@ class PlaceStore:
         self._buffer = BufferPool(self._pages, buffer_pages)
         self._cell_pages: dict[CellId, list[int]] = {}
         self._cell_place_counts: dict[CellId, int] = {}
+        self._place_cells: dict[int, CellId] = {}
         self._array_cache: dict[CellId, CellArrays] = {}
         self._place_count = 0
         self._fingerprint: str | None = None
@@ -75,12 +76,12 @@ class PlaceStore:
 
     def _bulk_load(self, places: Iterable[Place]) -> None:
         by_cell: dict[CellId, list[Place]] = {}
-        seen: set[int] = set()
         for place in places:
-            if place.place_id in seen:
+            if place.place_id in self._place_cells:
                 raise ValueError(f"duplicate place id {place.place_id}")
-            seen.add(place.place_id)
-            by_cell.setdefault(self.grid.cell_of(place.location), []).append(place)
+            cell = self.grid.cell_of(place.location)
+            self._place_cells[place.place_id] = cell
+            by_cell.setdefault(cell, []).append(place)
             self._place_count += 1
         for cell, cell_places in by_cell.items():
             self._cell_pages[cell] = self._pages.allocate_all(cell_places)
@@ -154,6 +155,141 @@ class PlaceStore:
         self._array_cache[cell] = arrays
         return arrays
 
+    # -- catalog mutation surface -----------------------------------------
+    #
+    # The place set was constructor-frozen until the reconfiguration
+    # layer (repro.control) arrived. These mutators keep the page layout,
+    # the per-cell directory, the SoA cache and the buffer pool mutually
+    # consistent; they are *owner API* — the RPL015 lint rule confines
+    # callers to repro.storage and repro.control, so every catalog change
+    # flows through an epoch-bumping control event.
+
+    def has_place(self, place_id: int) -> bool:
+        """Whether ``place_id`` is currently stored."""
+        return place_id in self._place_cells
+
+    def cell_of_place(self, place_id: int) -> CellId:
+        """The cell a stored place lives in (KeyError when unknown)."""
+        try:
+            return self._place_cells[place_id]
+        except KeyError:
+            raise KeyError(f"no such place: {place_id}") from None
+
+    def peek_place(self, place_id: int) -> Place:
+        """Fetch one stored place without accounting (control plane use)."""
+        cell = self.cell_of_place(place_id)
+        for page_id in self._cell_pages.get(cell, ()):
+            for place in self._pages.peek(page_id).records:
+                if place.place_id == place_id:
+                    return place
+        raise KeyError(f"no such place: {place_id}")  # pragma: no cover
+
+    def peek_cell(self, cell: CellId) -> list[Place]:
+        """All places of ``cell`` without accounting (control plane use)."""
+        places: list[Place] = []
+        for page_id in self._cell_pages.get(cell, ()):
+            places.extend(self._pages.peek(page_id).records)
+        return places
+
+    def peek_all_places(self) -> list[Place]:
+        """Every stored place, unaccounted, in cell-directory order."""
+        out: list[Place] = []
+        for cell in self._cell_pages:
+            out.extend(self.peek_cell(cell))
+        return out
+
+    def _invalidate_cell(self, cell: CellId) -> None:
+        """Drop every cache derived from a mutated cell's pages."""
+        self._array_cache.pop(cell, None)
+        for page_id in self._cell_pages.get(cell, ()):
+            self._buffer.invalidate(page_id)
+        self._fingerprint = None
+
+    def add_place(self, place: Place) -> CellId:
+        """Insert one place; returns the cell it landed in.
+
+        The place goes into its cell's last page when that page has
+        room, otherwise a fresh page is appended to the cell's run (a
+        brand-new cell gets its first page). Charges the page write(s)
+        the placement costs.
+        """
+        if place.place_id in self._place_cells:
+            raise ValueError(f"duplicate place id {place.place_id}")
+        cell = self.grid.cell_of(place.location)
+        pages = self._cell_pages.get(cell)
+        if pages:
+            last = self._pages.peek(pages[-1])
+            if len(last) < self._pages.page_capacity:
+                self._pages.replace(pages[-1], last.records + (place,))
+            else:
+                pages.append(self._pages.allocate([place]))
+        else:
+            self._cell_pages[cell] = [self._pages.allocate([place])]
+        self._cell_place_counts[cell] = self._cell_place_counts.get(cell, 0) + 1
+        self._place_cells[place.place_id] = cell
+        self._place_count += 1
+        self._invalidate_cell(cell)
+        return cell
+
+    def remove_place(self, place_id: int) -> Place:
+        """Delete one place; returns the removed record.
+
+        The holding page is rewritten without the record; a page that
+        empties is released, and a cell that empties disappears from the
+        directory entirely (an empty cell must look exactly like a cell
+        that never had places — the monitors' cell-state tables key on
+        directory membership).
+        """
+        cell = self.cell_of_place(place_id)
+        self._invalidate_cell(cell)
+        removed: Place | None = None
+        for page_id in list(self._cell_pages.get(cell, ())):
+            records = self._pages.peek(page_id).records
+            kept = tuple(p for p in records if p.place_id != place_id)
+            if len(kept) == len(records):
+                continue
+            removed = next(p for p in records if p.place_id == place_id)
+            if kept:
+                self._pages.replace(page_id, kept)
+            else:
+                self._pages.release(page_id)
+                self._buffer.invalidate(page_id)
+                self._cell_pages[cell].remove(page_id)
+            break
+        assert removed is not None  # _place_cells said it was here
+        del self._place_cells[place_id]
+        self._place_count -= 1
+        remaining = self._cell_place_counts[cell] - 1
+        if remaining:
+            self._cell_place_counts[cell] = remaining
+        else:
+            del self._cell_place_counts[cell]
+            del self._cell_pages[cell]
+        return removed
+
+    def reweight(self, place_id: int, required_protection: int) -> Place:
+        """Rewrite a place's required protection in place; returns the
+        *old* record (same id, location and kind are kept)."""
+        cell = self.cell_of_place(place_id)
+        for page_id in self._cell_pages.get(cell, ()):
+            records = self._pages.peek(page_id).records
+            for index, place in enumerate(records):
+                if place.place_id != place_id:
+                    continue
+                patched = Place(
+                    place_id=place.place_id,
+                    location=place.location,
+                    required_protection=required_protection,
+                    kind=place.kind,
+                )
+                self._pages.replace(
+                    page_id,
+                    records[:index] + (patched,) + records[index + 1 :],
+                )
+                self._invalidate_cell(cell)
+                return place
+        raise KeyError(f"no such place: {place_id}")  # pragma: no cover
+
     def iter_all_places(self) -> Iterable[Place]:
         """Stream every stored place (used by oracles and initialisation).
 
@@ -169,8 +305,8 @@ class PlaceStore:
         Floats are hashed via ``float.hex()`` so the digest is invariant
         across Python versions that format ``repr`` differently. The
         scan is unaccounted (``peek``): fingerprinting a live monitor at
-        checkpoint time must not perturb its I/O counters. The place set
-        is static, so the digest is computed once and cached.
+        checkpoint time must not perturb its I/O counters. The digest is
+        cached until a catalog mutation invalidates it.
         """
         if self._fingerprint is None:
             digest = hashlib.sha256()

@@ -28,12 +28,22 @@ from repro.workloads.scenarios import (
     ScenarioWorld,
     build_scenario,
 )
+from repro.workloads.control import (
+    ControlPlan,
+    drive,
+    generate_control_plan,
+    interleave,
+)
 
 __all__ = [
     "SCENARIOS",
     "Scenario",
     "ScenarioWorld",
     "build_scenario",
+    "ControlPlan",
+    "generate_control_plan",
+    "interleave",
+    "drive",
     "RequiredProtectionModel",
     "generate_places",
     "uniform_points",

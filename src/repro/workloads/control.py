@@ -1,0 +1,179 @@
+"""Control-event workloads: reconfigurations interleaved with updates.
+
+The data workloads in this package produce pure location-update streams;
+a production control plane (see :mod:`repro.control`) also sees places
+opening and closing, operators retuning ``k``, grids repartitioned. A
+:class:`ControlPlan` is the deterministic analogue of a recorded
+:class:`~repro.workloads.stream.UpdateStream` for that second input: a
+seeded sequence of ``(position, event)`` pairs, where ``position`` is
+the number of data updates that precede the event. Recording the plan
+once and replaying it into every monitor keeps equivalence comparisons
+exact, the same way recorded streams do.
+
+:func:`interleave` merges a plan into a stream as one iterable;
+:func:`drive` feeds the merged sequence through a
+:class:`~repro.engine.session.MonitorSession` (updates via ``feed``,
+events via ``apply_control``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.control.events import (
+    ControlEvent,
+    GridRetuned,
+    KChanged,
+    PlaceAdded,
+    PlaceRemoved,
+    PlaceReweighted,
+    ShardPlanChanged,
+)
+from repro.geometry import Point, Rect
+from repro.model import LocationUpdate, Place
+
+#: event kinds :func:`generate_control_plan` can draw, in draw order.
+DEFAULT_EVENT_KINDS: tuple[str, ...] = (
+    "place_added",
+    "place_removed",
+    "place_reweighted",
+    "k_changed",
+    "grid_retuned",
+)
+
+
+@dataclass(frozen=True)
+class ControlPlan:
+    """A replayable schedule of control events against one stream.
+
+    ``events`` holds ``(position, event)`` pairs sorted by position:
+    the event fires after that many data updates have been fed. Several
+    events may share a position (they apply back to back, in order).
+    """
+
+    events: tuple[tuple[int, ControlEvent], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[tuple[int, ControlEvent]]:
+        return iter(self.events)
+
+    def final_places(self, places: Sequence[Place]) -> list[Place]:
+        """The catalog after every place event in the plan (for building
+        a reference monitor over the post-plan world)."""
+        from repro.control.replay import fold_places
+
+        return fold_places(places, [event for _, event in self.events])
+
+
+def generate_control_plan(
+    places: Sequence[Place],
+    *,
+    stream_length: int,
+    n_events: int = 4,
+    seed: int = 0,
+    space: Rect = Rect(0.0, 0.0, 1.0, 1.0),
+    k_range: tuple[int, int] = (1, 20),
+    granularity_range: tuple[int, int] = (4, 24),
+    shard_counts: Sequence[int] = (),
+    kinds: Sequence[str] = DEFAULT_EVENT_KINDS,
+) -> ControlPlan:
+    """A deterministic, always-valid random plan for ``places``.
+
+    Validity is tracked statefully: removals and reweights only target
+    places still in the catalog at that point of the plan, and added
+    places get ids above every existing one. Pass ``shard_counts`` to
+    also draw ``ShardPlanChanged`` events (only meaningful when the
+    consuming monitor is sharded, so off by default).
+    """
+    if stream_length < 0:
+        raise ValueError("stream_length cannot be negative")
+    rng = random.Random(seed)
+    live = {p.place_id: p for p in places}
+    next_id = (max(live) if live else 0) + 1
+    menu = list(kinds)
+    if shard_counts:
+        menu.append("shard_plan_changed")
+    positions = sorted(rng.randint(0, stream_length) for _ in range(n_events))
+    events: list[tuple[int, ControlEvent]] = []
+    for position in positions:
+        kind = rng.choice(menu)
+        if kind in ("place_removed", "place_reweighted") and not live:
+            kind = "place_added"
+        event: ControlEvent
+        if kind == "place_added":
+            place = Place(
+                place_id=next_id,
+                location=Point(
+                    rng.uniform(space.xmin, space.xmax),
+                    rng.uniform(space.ymin, space.ymax),
+                ),
+                required_protection=rng.randint(0, 6),
+                kind="pop-up",
+            )
+            next_id += 1
+            live[place.place_id] = place
+            event = PlaceAdded(place)
+        elif kind == "place_removed":
+            victim = rng.choice(sorted(live))
+            del live[victim]
+            event = PlaceRemoved(victim)
+        elif kind == "place_reweighted":
+            target = rng.choice(sorted(live))
+            required = rng.randint(0, 8)
+            old = live[target]
+            live[target] = Place(
+                old.place_id, old.location, required, old.kind
+            )
+            event = PlaceReweighted(target, required)
+        elif kind == "k_changed":
+            event = KChanged(rng.randint(*k_range))
+        elif kind == "grid_retuned":
+            event = GridRetuned(rng.randint(*granularity_range))
+        elif kind == "shard_plan_changed":
+            event = ShardPlanChanged(rng.choice(list(shard_counts)))
+        else:
+            raise ValueError(f"unknown control-event kind {kind!r}")
+        events.append((position, event))
+    return ControlPlan(tuple(events))
+
+
+def interleave(
+    updates: Iterable[LocationUpdate], plan: ControlPlan
+) -> Iterator[LocationUpdate | ControlEvent]:
+    """Merge a stream and a plan into one ordered sequence.
+
+    Events scheduled at position ``i`` come out after the ``i``-th
+    update (position 0 means before any update); events past the end of
+    the stream trail at the end, still in plan order.
+    """
+    pending = list(plan.events)
+    fed = 0
+    for update in updates:
+        while pending and pending[0][0] <= fed:
+            yield pending.pop(0)[1]
+        yield update
+        fed += 1
+    for _, event in pending:
+        yield event
+
+
+def drive(session, items: Iterable[LocationUpdate | ControlEvent]) -> int:
+    """Feed a merged sequence through a session; returns updates fed.
+
+    Updates go through ``session.feed``; control events through
+    ``session.apply_control`` (which flushes any buffered burst first —
+    control applies at batch boundaries by construction).
+    """
+    fed = 0
+    for item in items:
+        if isinstance(item, LocationUpdate):
+            session.feed(item)
+            fed += 1
+        else:
+            session.apply_control(item)
+    session.flush()
+    return fed

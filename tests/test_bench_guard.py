@@ -180,3 +180,38 @@ def test_committed_baseline_is_structurally_current():
         assert set(prof["schemes"]) == {"naive", "basic", "opt"}
         for modes in prof["schemes"].values():
             assert set(modes) == {"indexed", "linear"}
+
+
+def test_committed_reconfig_baseline_keeps_the_speedup_floor():
+    """BENCH_reconfig.json must self-compare clean and hold the 5x floor.
+
+    The committed baseline is the contract: incremental place-adds beat
+    per-event rebuilds by at least 5x at |P| = 2000, with zero rebuild
+    fallbacks on the incremental side.
+    """
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    doc = load_baseline(root / "BENCH_reconfig.json")
+    report = compare(
+        doc,
+        doc,
+        bench="reconfig",
+        counter_metrics=(
+            "cells_accessed",
+            "places_loaded",
+            "page_reads",
+            "rebuilds",
+            "epoch",
+            "final_sk",
+        ),
+        wall_metrics=("apply_seconds",),
+    )
+    assert report.findings == []
+    smoke = doc["profiles"]["smoke"]
+    assert smoke["workload"]["n_places"] == 2_000
+    assert smoke["speedup_x"] >= 5.0
+    modes = smoke["schemes"]["opt"]
+    assert set(modes) == {"incremental", "rebuild"}
+    assert modes["incremental"]["rebuilds"] == 0
+    assert modes["rebuild"]["rebuilds"] == smoke["workload"]["n_adds"]

@@ -25,7 +25,6 @@ class TestConfig:
     @pytest.mark.parametrize(
         "field,value",
         [
-            ("k", 0),
             ("k", -1),
             ("delta", -1),
             ("protection_range", 0.0),
@@ -37,6 +36,10 @@ class TestConfig:
         with pytest.raises(ValueError):
             CTUPConfig(**{field: value})
 
+    def test_k_zero_suspends_reporting(self):
+        # k == 0 is legal (KChanged(0) mid-run): an empty result set.
+        assert CTUPConfig(k=0).k == 0
+
     def test_replace_returns_new_config(self):
         config = CTUPConfig()
         other = config.replace(k=3, delta=1)
@@ -46,7 +49,7 @@ class TestConfig:
 
     def test_replace_validates(self):
         with pytest.raises(ValueError):
-            CTUPConfig().replace(k=0)
+            CTUPConfig().replace(k=-1)
 
     def test_frozen(self):
         config = CTUPConfig()

@@ -1,0 +1,733 @@
+"""The control plane: epochs, catalog mutations, live retuning, resharding.
+
+The tentpole guarantee under test is *equivalence to rebuild*: applying
+any sequence of control events incrementally must leave a monitor whose
+SK and top-k are identical to a fresh monitor constructed over the
+post-event world — for every registered scheme, unsharded and sharded —
+and must leave every work ledger untouched (control work bills to the
+:class:`~repro.control.events.EpochReport`, never to the data plane's
+counters). On top of that sit the durability rules: control events are
+journaled in order with the data updates, crash recovery replays them
+across epoch boundaries, and ``close()`` leaves a recoverable tail.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    SCHEMES,
+    ControlSpec,
+    DurabilitySpec,
+    ShardSpec,
+    make_monitor,
+    open_session,
+)
+from repro.control import (
+    EpochReport,
+    GridRetuned,
+    KChanged,
+    PlaceAdded,
+    PlaceCatalog,
+    PlaceRemoved,
+    PlaceReweighted,
+    ShardPlanChanged,
+    decode_event,
+    encode_event,
+    event_kind,
+    fold_places,
+)
+from repro.core import CTUPConfig
+from repro.engine.session import MonitorSession
+from repro.geometry import Point, Rect
+from repro.grid.partition import GridPartition
+from repro.model import LocationUpdate, Place
+from repro.state.journal import UpdateJournal
+from repro.state.recovery import CheckpointPolicy, RecoveryManager
+from repro.storage.placestore import PlaceStore
+from repro.workloads import (
+    RandomWalkMobility,
+    generate_places,
+    generate_units,
+    record_stream,
+)
+from repro.workloads.control import (
+    ControlPlan,
+    generate_control_plan,
+    interleave,
+)
+
+ALL_EVENTS = [
+    PlaceAdded(Place(77, Point(0.5, 0.5), 3, kind="school")),
+    PlaceRemoved(77),
+    PlaceReweighted(4, 9),
+    KChanged(7),
+    GridRetuned(6),
+    ShardPlanChanged(3, "striped"),
+]
+
+
+def build(scheme, config, places, units, shards=0):
+    monitor = make_monitor(
+        scheme,
+        places=places,
+        units=units,
+        config=config,
+        shard=ShardSpec(shards=shards) if shards else None,
+    )
+    monitor.initialize()
+    return monitor
+
+
+def answer(monitor):
+    # The contractual answer (core.monitor.top_k docstring): SK, every row
+    # strictly below SK, and the safety multiset.  Which of several places
+    # *tied at SK* fills the last slot may differ between two monitors.
+    sk = monitor.sk()
+    rows = [(r.place_id, r.safety) for r in monitor.top_k()]
+    return (
+        sk,
+        sorted(t for t in rows if t[1] < sk),
+        sorted(s for _, s in rows),
+    )
+
+
+def run_mixed(monitor, items, mode):
+    for item in items:
+        if isinstance(item, LocationUpdate):
+            monitor.process(item)
+        else:
+            monitor.apply_control(item, mode=mode)
+
+
+def final_settings(config, plan, shards):
+    """The (config, shards) in force after every event of ``plan``."""
+    k, granularity = config.k, config.granularity
+    for _, event in plan:
+        if isinstance(event, KChanged):
+            k = event.k
+        elif isinstance(event, GridRetuned):
+            granularity = event.granularity
+        elif isinstance(event, ShardPlanChanged):
+            shards = event.shards
+    return config.replace(k=k, granularity=granularity), shards
+
+
+# -- the catalog --------------------------------------------------------
+
+
+class TestPlaceCatalog:
+    def setup_method(self):
+        self.grid = GridPartition(Rect(0.0, 0.0, 1.0, 1.0), 4, 4)
+        self.places = [
+            Place(1, Point(0.1, 0.1), 2),
+            Place(2, Point(0.12, 0.1), 1),
+            Place(3, Point(0.9, 0.9), 4),
+        ]
+        self.store = PlaceStore(self.grid, self.places)
+
+    def test_add_place(self):
+        catalog = PlaceCatalog(self.store)
+        cell = catalog.add_place(Place(9, Point(0.6, 0.6), 3))
+        assert cell == self.grid.cell_of(Point(0.6, 0.6))
+        assert self.store.has_place(9)
+        assert 9 in catalog and len(catalog) == 4
+        assert catalog.mutations == 1
+
+    def test_add_duplicate_id_rejected(self):
+        catalog = PlaceCatalog(self.store)
+        with pytest.raises(ValueError):
+            catalog.add_place(Place(2, Point(0.3, 0.3), 0))
+
+    def test_add_requires_place(self):
+        with pytest.raises(TypeError):
+            PlaceCatalog(self.store).add_place("not-a-place")
+
+    def test_remove_place_returns_record(self):
+        catalog = PlaceCatalog(self.store)
+        removed = catalog.remove_place(2)
+        assert removed.place_id == 2
+        assert not self.store.has_place(2)
+        with pytest.raises(KeyError):
+            catalog.remove_place(2)
+
+    def test_remove_last_place_empties_cell(self):
+        catalog = PlaceCatalog(self.store)
+        cell = self.store.cell_of_place(3)
+        catalog.remove_place(3)
+        assert self.store.read_cell(cell) == []
+        assert self.store.cell_place_count(cell) == 0
+
+    def test_reweight_returns_old_record(self):
+        catalog = PlaceCatalog(self.store)
+        old = catalog.reweight(1, 7)
+        assert old.required_protection == 2
+        assert self.store.peek_place(1).required_protection == 7
+        with pytest.raises(ValueError):
+            catalog.reweight(1, -1)
+
+    def test_mutations_invalidate_fingerprint(self):
+        before = self.store.fingerprint
+        PlaceCatalog(self.store).add_place(Place(9, Point(0.4, 0.4), 1))
+        assert self.store.fingerprint != before
+
+
+# -- the event vocabulary ----------------------------------------------
+
+
+class TestEventCodec:
+    @pytest.mark.parametrize("event", ALL_EVENTS, ids=event_kind)
+    def test_round_trip(self, event):
+        assert decode_event(encode_event(event)) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            decode_event({"kind": "martians_landed"})
+
+    def test_fold_places(self):
+        places = [Place(1, Point(0.1, 0.1), 2), Place(2, Point(0.2, 0.2), 1)]
+        folded = fold_places(
+            places,
+            [
+                PlaceAdded(Place(3, Point(0.3, 0.3), 5)),
+                PlaceRemoved(1),
+                PlaceReweighted(2, 8),
+                KChanged(4),  # non-place events fold to nothing
+            ],
+        )
+        assert [(p.place_id, p.required_protection) for p in folded] == [
+            (2, 8),
+            (3, 5),
+        ]
+
+    def test_fold_rejects_invalid_sequences(self):
+        places = [Place(1, Point(0.1, 0.1), 2)]
+        with pytest.raises(ValueError):
+            fold_places(places, [PlaceAdded(Place(1, Point(0.5, 0.5), 0))])
+        with pytest.raises(ValueError):
+            fold_places(places, [PlaceRemoved(99)])
+        with pytest.raises(ValueError):
+            fold_places(places, [PlaceReweighted(99, 1)])
+
+
+# -- incremental vs rebuild vs fresh equivalence ------------------------
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("shards", [0, 1, 4])
+    def test_event_mix_matches_fresh_monitor(self, scheme, shards):
+        config = CTUPConfig(k=5, granularity=8, protection_range=0.12)
+        places = generate_places(250, seed=11)
+        units = generate_units(12, config.protection_range, seed=12)
+        stream = record_stream(
+            RandomWalkMobility(units, step=0.04, seed=13), 48
+        )
+        plan = generate_control_plan(
+            places,
+            stream_length=len(stream),
+            n_events=6,
+            seed=14,
+            k_range=(0, 12),
+            granularity_range=(3, 12),
+            shard_counts=(2, 6) if shards else (),
+        )
+        items = list(interleave(stream, plan))
+
+        incremental = build(scheme, config, places, units, shards)
+        run_mixed(incremental, items, "incremental")
+        rebuilt = build(scheme, config, places, units, shards)
+        run_mixed(rebuilt, items, "rebuild")
+        final_config, final_shards = final_settings(config, plan, shards)
+        fresh = build(
+            scheme, final_config, plan.final_places(places), units,
+            final_shards,
+        )
+        for update in stream:
+            fresh.process(update)
+
+        want = answer(fresh)
+        assert answer(incremental) == want
+        assert answer(rebuilt) == want
+        assert incremental.epoch == rebuilt.epoch == len(plan)
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(1, 8),
+        scheme=st.sampled_from(sorted(SCHEMES)),
+        shards=st.sampled_from([0, 1, 4]),
+        n_events=st.integers(1, 5),
+    )
+    def test_random_interleavings(self, seed, k, scheme, shards, n_events):
+        config = CTUPConfig(k=k, granularity=6, protection_range=0.12)
+        places = generate_places(120, seed=seed)
+        units = generate_units(8, config.protection_range, seed=seed + 1)
+        stream = record_stream(
+            RandomWalkMobility(units, step=0.05, seed=seed + 2), 30
+        )
+        plan = generate_control_plan(
+            places,
+            stream_length=len(stream),
+            n_events=n_events,
+            seed=seed + 3,
+            k_range=(0, 10),
+            granularity_range=(2, 10),
+            shard_counts=(2, 3) if shards else (),
+        )
+        items = list(interleave(stream, plan))
+
+        incremental = build(scheme, config, places, units, shards)
+        run_mixed(incremental, items, "incremental")
+        final_config, final_shards = final_settings(config, plan, shards)
+        fresh = build(
+            scheme, final_config, plan.final_places(places), units,
+            final_shards,
+        )
+        for update in stream:
+            fresh.process(update)
+        assert answer(incremental) == answer(fresh)
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("shards", [0, 4])
+    def test_control_is_ledger_neutral(self, scheme, shards):
+        config = CTUPConfig(k=5, granularity=8, protection_range=0.12)
+        places = generate_places(200, seed=21)
+        units = generate_units(10, config.protection_range, seed=22)
+        monitor = build(scheme, config, places, units, shards)
+        for update in record_stream(
+            RandomWalkMobility(units, step=0.04, seed=23), 20
+        ):
+            monitor.process(update)
+        if shards:
+            counters = monitor.merged_counters()
+            io = monitor.merged_io()
+        else:
+            counters = monitor.counters.snapshot()
+            io = monitor.store.io_stats.snapshot()
+        events = [
+            PlaceAdded(Place(9001, Point(0.42, 0.42), 3)),
+            PlaceReweighted(9001, 6),
+            KChanged(8),
+            GridRetuned(5),
+            PlaceRemoved(9001),
+        ]
+        for event in events:
+            report = monitor.apply_control(event)
+            assert isinstance(report, EpochReport)
+            if shards:
+                assert monitor.merged_counters() == counters
+                assert monitor.merged_io() == io
+            else:
+                assert monitor.counters == counters
+                assert monitor.store.io_stats == io
+        assert monitor.epoch == len(events)
+
+    def test_epoch_report_receipt(self):
+        config = CTUPConfig(k=4, granularity=6, protection_range=0.12)
+        places = generate_places(150, seed=31)
+        units = generate_units(8, config.protection_range, seed=32)
+        monitor = build("basic", config, places, units)
+        report = monitor.apply_control(
+            PlaceAdded(Place(9001, Point(0.3, 0.3), 2))
+        )
+        assert report.epoch == 1
+        assert report.kind == "place_added"
+        assert report.rebuilt is False
+        assert report.seconds >= 0.0
+        assert report.sk == monitor.sk()
+        forced = monitor.apply_control(PlaceRemoved(9001), mode="rebuild")
+        assert forced.rebuilt is True
+        assert forced.epoch == 2
+
+    def test_grid_retune_always_rebuilds(self):
+        config = CTUPConfig(k=4, granularity=6, protection_range=0.12)
+        places = generate_places(150, seed=33)
+        units = generate_units(8, config.protection_range, seed=34)
+        monitor = build("opt", config, places, units)
+        report = monitor.apply_control(GridRetuned(9))
+        assert report.rebuilt is True
+        assert monitor.grid.nx == 9
+        assert monitor.config.granularity == 9
+
+    def test_reshard_on_plain_monitor_rejected(self):
+        config = CTUPConfig(k=4, granularity=6, protection_range=0.12)
+        places = generate_places(100, seed=35)
+        units = generate_units(6, config.protection_range, seed=36)
+        monitor = build("opt", config, places, units)
+        with pytest.raises(ValueError):
+            monitor.apply_control(ShardPlanChanged(4))
+
+    def test_invalid_mode_rejected(self):
+        config = CTUPConfig(k=4, granularity=6, protection_range=0.12)
+        places = generate_places(50, seed=37)
+        units = generate_units(4, config.protection_range, seed=38)
+        monitor = build("basic", config, places, units)
+        with pytest.raises(ValueError):
+            monitor.apply_control(KChanged(3), mode="yolo")
+
+
+# -- online resharding --------------------------------------------------
+
+
+class TestResharding:
+    @pytest.mark.parametrize("scheme", ["basic", "opt"])
+    def test_migration_is_online(self, scheme):
+        """basic/opt migrate per-cell state without a rebuild."""
+        config = CTUPConfig(k=5, granularity=8, protection_range=0.12)
+        places = generate_places(300, seed=41)
+        units = generate_units(10, config.protection_range, seed=42)
+        monitor = build(scheme, config, places, units, shards=2)
+        for update in record_stream(
+            RandomWalkMobility(units, step=0.04, seed=43), 25
+        ):
+            monitor.process(update)
+        before = answer(monitor)
+        report = monitor.apply_control(ShardPlanChanged(5))
+        assert report.rebuilt is False
+        assert monitor.plan.n_shards == 5
+        assert answer(monitor) == before
+        fresh = build(scheme, config, places, units, shards=5)
+        for update in record_stream(
+            RandomWalkMobility(units, step=0.04, seed=43), 25
+        ):
+            fresh.process(update)
+        assert answer(monitor) == answer(fresh)
+
+    @pytest.mark.parametrize("scheme", ["naive", "incremental"])
+    def test_migration_falls_back_to_rebuild(self, scheme):
+        config = CTUPConfig(k=5, granularity=8, protection_range=0.12)
+        places = generate_places(200, seed=44)
+        units = generate_units(8, config.protection_range, seed=45)
+        monitor = build(scheme, config, places, units, shards=2)
+        before = answer(monitor)
+        report = monitor.apply_control(ShardPlanChanged(4))
+        assert report.rebuilt is True
+        assert monitor.plan.n_shards == 4
+        assert answer(monitor) == before
+
+
+# -- sessions: journaling, replay, recovery -----------------------------
+
+
+def _mixed_session_items(config, places, units, n_updates=40, seed=51):
+    stream = record_stream(
+        RandomWalkMobility(units, step=0.04, seed=seed), n_updates
+    )
+    plan = ControlPlan(
+        (
+            (8, PlaceAdded(Place(9001, Point(0.35, 0.65), 4, kind="pop-up"))),
+            (16, KChanged(config.k + 3)),
+            (24, PlaceReweighted(places[5].place_id, 7)),
+            (32, PlaceRemoved(places[9].place_id)),
+        )
+    )
+    return list(interleave(stream, plan)), plan
+
+
+class TestSessionControl:
+    def test_events_are_journaled_and_replayed(self, tmp_path):
+        config = CTUPConfig(k=5, granularity=8, protection_range=0.12)
+        places = generate_places(200, seed=52)
+        units = generate_units(10, config.protection_range, seed=53)
+        items, plan = _mixed_session_items(config, places, units)
+        session = open_session(
+            "opt",
+            places=places,
+            units=units,
+            config=config,
+            durability=str(tmp_path / "ckpt"),
+        )
+        from repro.workloads.control import drive
+
+        drive(session, items)
+        want = answer(session.monitor)
+        want_epoch = session.monitor.epoch
+        assert want_epoch == len(plan)
+        journal = session.journal
+        controls = [r for r in journal.records() if r.is_control]
+        assert [dict(r.control)["kind"] for r in controls] == [
+            event_kind(event) for _, event in plan
+        ]
+        # crash (no close); recover and compare.
+        del session
+        resumed = open_session(
+            "opt",
+            places=places,
+            units=units,
+            config=config,
+            durability=DurabilitySpec(
+                checkpoint_dir=str(tmp_path / "ckpt"), resume=True
+            ),
+        )
+        assert answer(resumed.monitor) == want
+        assert resumed.monitor.epoch == want_epoch
+        resumed.close()
+
+    @pytest.mark.parametrize("kill_after", [9, 17, 33])
+    def test_kill_points_across_epoch_boundaries(self, tmp_path, kill_after):
+        """Crash right after an event (or between them) and recover."""
+        config = CTUPConfig(k=5, granularity=8, protection_range=0.12)
+        places = generate_places(200, seed=54)
+        units = generate_units(10, config.protection_range, seed=55)
+        items, plan = _mixed_session_items(config, places, units)
+
+        # the uninterrupted run is the reference.
+        reference = open_session(
+            "opt", places=places, units=units, config=config
+        )
+        from repro.workloads.control import drive
+
+        drive(reference, items)
+        want = answer(reference.monitor)
+        want_epoch = reference.monitor.epoch
+
+        directory = tmp_path / f"kill-{kill_after}"
+        session = open_session(
+            "opt",
+            places=places,
+            units=units,
+            config=config,
+            durability=DurabilitySpec(checkpoint_dir=str(directory), every=7),
+        )
+        for item in items[:kill_after]:
+            if isinstance(item, LocationUpdate):
+                session.feed(item)
+            else:
+                session.apply_control(item)
+        del session  # crash: no close, no final snapshot
+
+        resumed = open_session(
+            "opt",
+            places=places,
+            units=units,
+            config=config,
+            durability=DurabilitySpec(
+                checkpoint_dir=str(directory), resume=True
+            ),
+        )
+        for item in items[kill_after:]:
+            if isinstance(item, LocationUpdate):
+                resumed.feed(item)
+            else:
+                resumed.apply_control(item)
+        resumed.flush()
+        assert answer(resumed.monitor) == want
+        assert resumed.monitor.epoch == want_epoch
+        # the catalog recovered too: the added place is in, removed out.
+        assert resumed.monitor.store.has_place(9001)
+        assert not resumed.monitor.store.has_place(places[9].place_id)
+        resumed.close()
+
+    def test_sharded_reshard_recovers_plan(self, tmp_path):
+        config = CTUPConfig(k=5, granularity=8, protection_range=0.12)
+        places = generate_places(200, seed=56)
+        units = generate_units(10, config.protection_range, seed=57)
+        stream = record_stream(
+            RandomWalkMobility(units, step=0.04, seed=58), 30
+        )
+        session = open_session(
+            "basic",
+            places=places,
+            units=units,
+            config=config,
+            shard=ShardSpec(shards=2),
+            durability=str(tmp_path / "ckpt"),
+        )
+        session.start()
+        for update in stream[:15]:
+            session.feed(update)
+        session.apply_control(ShardPlanChanged(5))
+        for update in stream[15:]:
+            session.feed(update)
+        session.flush()
+        want = answer(session.monitor)
+        del session  # crash
+
+        resumed = open_session(
+            "basic",
+            places=places,
+            units=units,
+            config=config,
+            shard=ShardSpec(shards=2),
+            durability=DurabilitySpec(
+                checkpoint_dir=str(tmp_path / "ckpt"), resume=True
+            ),
+        )
+        assert resumed.monitor.plan.n_shards == 5
+        assert resumed.monitor.epoch == 1
+        assert answer(resumed.monitor) == want
+        resumed.close()
+
+    def test_close_leaves_recoverable_tail(self, tmp_path):
+        """close() fsyncs the journal even when no snapshot is due."""
+        config = CTUPConfig(k=4, granularity=6, protection_range=0.12)
+        places = generate_places(120, seed=61)
+        units = generate_units(8, config.protection_range, seed=62)
+        stream = record_stream(
+            RandomWalkMobility(units, step=0.05, seed=63), 20
+        )
+        policy = CheckpointPolicy(
+            directory=tmp_path / "tail", every_batches=0, on_close=False
+        )
+        monitor = build("opt", config, places, units)
+        session = MonitorSession(monitor, checkpoint=policy)
+        session.start()
+        for update in stream[:10]:
+            session.feed(update)
+        session.apply_control(KChanged(6))
+        for update in stream[10:]:
+            session.feed(update)
+        want = answer(session.monitor)
+        session.close()  # no snapshot written (on_close=False) — tail only
+
+        # every record must already be durable on disk.
+        journal_lines = [
+            line
+            for line in (tmp_path / "tail" / "journal.jsonl")
+            .read_text()
+            .splitlines()
+            if line.strip()
+        ]
+        assert len(journal_lines) == len(stream) + 1
+
+        manager = RecoveryManager(policy, places=places, units=units)
+        assert manager.latest_document() is None  # no snapshot: tail-only
+        resumed = manager.resume_session(
+            fresh_monitor=lambda: make_monitor(
+                "opt", places=places, units=units, config=config
+            )
+        )
+        assert answer(resumed.monitor) == want
+        assert resumed.monitor.epoch == 1
+        assert resumed.monitor.config.k == 6
+        resumed.close()
+
+    def test_control_spec_sets_default_mode(self):
+        config = CTUPConfig(k=4, granularity=6, protection_range=0.12)
+        places = generate_places(80, seed=64)
+        units = generate_units(6, config.protection_range, seed=65)
+        session = open_session(
+            "basic",
+            places=places,
+            units=units,
+            config=config,
+            control=ControlSpec(mode="rebuild"),
+        )
+        report = session.apply_control(KChanged(2))
+        assert report.rebuilt is True
+        shorthand = open_session(
+            "basic", places=places, units=units, config=config,
+            control="rebuild",
+        )
+        assert shorthand.control_mode == "rebuild"
+        with pytest.raises(ValueError):
+            ControlSpec(mode="yolo")
+        with pytest.raises(TypeError):
+            open_session(
+                "basic", places=places, units=units, config=config,
+                control=42,
+            )
+
+    def test_hooks_see_control_events(self):
+        from repro.engine.hooks import MonitorHooks
+
+        seen = []
+
+        class Spy(MonitorHooks):
+            def on_control(self, event, report):
+                seen.append((event, report.epoch))
+
+        config = CTUPConfig(k=4, granularity=6, protection_range=0.12)
+        places = generate_places(80, seed=66)
+        units = generate_units(6, config.protection_range, seed=67)
+        session = open_session(
+            "basic", places=places, units=units, config=config, hooks=Spy()
+        )
+        session.apply_control(KChanged(2))
+        assert seen == [(KChanged(2), 1)]
+
+    def test_snapshot_envelope_carries_epoch(self, tmp_path):
+        config = CTUPConfig(k=4, granularity=6, protection_range=0.12)
+        places = generate_places(80, seed=68)
+        units = generate_units(6, config.protection_range, seed=69)
+        session = open_session(
+            "opt",
+            places=places,
+            units=units,
+            config=config,
+            durability=str(tmp_path / "ckpt"),
+        )
+        session.apply_control(KChanged(6))
+        session.checkpoint()
+        from repro.state.recovery import CheckpointStore
+
+        document = CheckpointStore(tmp_path / "ckpt").latest()
+        assert document["epoch"] == 1
+        assert document["state"]["epoch"] == 1
+        session.close()
+
+
+class TestJournalControlRecords:
+    def test_append_and_decode(self, tmp_path):
+        journal = UpdateJournal(tmp_path / "journal.jsonl")
+        payload = encode_event(KChanged(9))
+        payload["mode"] = "rebuild"
+        seq = journal.append_control(payload)
+        journal.close()
+        reopened = UpdateJournal(tmp_path / "journal.jsonl")
+        records = list(reopened.records())
+        reopened.close()
+        assert [r.seq for r in records] == [seq]
+        assert records[0].is_control
+        restored = dict(records[0].control)
+        assert restored.pop("mode") == "rebuild"
+        assert decode_event(restored) == KChanged(9)
+
+    def test_sync_is_idempotent(self, tmp_path):
+        journal = UpdateJournal(tmp_path / "journal.jsonl")
+        journal.append_control(encode_event(KChanged(1)))
+        journal.sync()
+        journal.sync()
+        journal.close()
+        journal.sync()  # safe after close
+
+
+# -- observability ------------------------------------------------------
+
+
+class TestControlObservability:
+    def test_epoch_gauge_and_event_counter(self):
+        from repro.obs import ObsSpec
+
+        config = CTUPConfig(k=4, granularity=6, protection_range=0.12)
+        places = generate_places(80, seed=71)
+        units = generate_units(6, config.protection_range, seed=72)
+        session = open_session(
+            "opt",
+            places=places,
+            units=units,
+            config=config,
+            obs=ObsSpec(metrics=True, trace=True),
+        )
+        session.apply_control(KChanged(6))
+        session.apply_control(PlaceAdded(Place(9001, Point(0.4, 0.4), 2)))
+        registry = session.observability.registry
+        assert registry.value("ctup_epoch", scheme="opt") == 2.0
+        assert (
+            registry.value("ctup_control_events_total", kind="k_changed")
+            == 1.0
+        )
+        spans = [
+            span
+            for span in session.observability.tracer.spans()
+            if span.name == "control.apply"
+        ]
+        assert len(spans) == 2
+        session.close()

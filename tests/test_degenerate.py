@@ -10,9 +10,13 @@ import math
 
 import pytest
 
+from repro.api import SCHEMES as REGISTERED_SCHEMES
+from repro.api import ShardSpec, make_monitor
+from repro.control import KChanged
 from repro.core import BasicCTUP, CTUPConfig, NaiveCTUP, OptCTUP
 from repro.core.audit import audit_monitor
-from repro.geometry import Point
+from repro.core.topk import tie_key
+from repro.geometry import Point, Rect
 from repro.model import Place, Unit
 from repro.validate import Oracle
 from repro.workloads import RandomWalkMobility, generate_places, record_stream
@@ -134,6 +138,147 @@ class TestStationaryReports:
         opt = monitors[2]
         basic = monitors[1]
         assert opt.counters.lb_decrements <= basic.counters.lb_decrements
+
+
+def _build(scheme, config, places, units, shards=0):
+    monitor = make_monitor(
+        scheme,
+        places=places,
+        units=units,
+        config=config,
+        shard=ShardSpec(shards=shards) if shards else None,
+    )
+    monitor.initialize()
+    return monitor
+
+
+def _tied_world():
+    """A straddle world: six coincident places share the lowest safety.
+
+    The tie group (ids 100..105, identical location and RP) straddles
+    any ``k`` between 1 and 5 — the canonical ``(safety, id)`` key is
+    the only thing that decides which of them make the result.
+    """
+    places = [Place(100 + i, Point(0.52, 0.52), 5) for i in range(6)]
+    places += [Place(i, Point(0.1 + 0.03 * i, 0.85), i % 3) for i in range(10)]
+    units = [
+        Unit(0, Point(0.2, 0.2), 0.1),
+        Unit(1, Point(0.75, 0.75), 0.1),
+    ]
+    return places, units
+
+
+class TestDegenerateK:
+    """k == 0, k > |P|, and k shrinking below the straddle group, for
+    every registered scheme, unsharded and sharded."""
+
+    @pytest.mark.parametrize("scheme", sorted(REGISTERED_SCHEMES))
+    @pytest.mark.parametrize("shards", [0, 4])
+    def test_k_zero(self, fleet, scheme, shards):
+        config = CTUPConfig(k=0, delta=2, protection_range=0.1, granularity=8)
+        places = generate_places(120, seed=6)
+        monitor = _build(scheme, config, places, fleet, shards)
+        assert monitor.top_k() == []
+        assert monitor.sk() == -math.inf
+        for update in walk(fleet, seed=7, n=30):
+            monitor.process(update)
+            assert monitor.top_k() == []
+            assert monitor.sk() == -math.inf
+
+    @pytest.mark.parametrize("scheme", sorted(REGISTERED_SCHEMES))
+    @pytest.mark.parametrize("shards", [0, 4])
+    def test_k_exceeds_place_count(self, fleet, scheme, shards):
+        config = CTUPConfig(k=60, delta=2, protection_range=0.1, granularity=6)
+        places = generate_places(20, seed=8)
+        monitor = _build(scheme, config, places, fleet, shards)
+        oracle = Oracle(places, fleet)
+        for update in walk(fleet, seed=9, n=30):
+            oracle.apply(update)
+            monitor.process(update)
+            assert monitor.sk() == math.inf
+            result = monitor.top_k()
+            assert len(result) == 20
+            verdict = oracle.validate(result, config.k)
+            assert verdict.ok, (scheme, shards, verdict.problems[:3])
+
+    @pytest.mark.parametrize("scheme", sorted(REGISTERED_SCHEMES))
+    @pytest.mark.parametrize("shards", [0, 4])
+    def test_k_shrinks_below_straddle_group(self, scheme, shards):
+        """Shrinking k inside a tie group keeps the canonical prefix."""
+        places, units = _tied_world()
+        config = CTUPConfig(k=8, delta=1, protection_range=0.1, granularity=8)
+        monitor = _build(scheme, config, places, units, shards)
+        for update in walk(units, seed=10, n=20):
+            monitor.process(update)
+        monitor.apply_control(KChanged(3))
+        fresh = _build(
+            scheme, config.replace(k=3), places, units, shards
+        )
+        for update in walk(units, seed=10, n=20):
+            fresh.process(update)
+        got = [(r.place_id, r.safety) for r in monitor.top_k()]
+        want = [(r.place_id, r.safety) for r in fresh.top_k()]
+        assert got == want
+        assert monitor.sk() == fresh.sk()
+        assert len(got) == 3
+
+
+class TestStraddleTieBreak:
+    """All result surfaces break safety ties by ascending place id —
+    through the single ``core.topk.tie_key`` comparator, so the core
+    schemes, the sharded merger and the ext/ schemes cannot drift."""
+
+    def test_core_and_sharded_agree_on_tie_order(self):
+        places, units = _tied_world()
+        config = CTUPConfig(k=3, delta=1, protection_range=0.1, granularity=8)
+        results = {}
+        for scheme in sorted(REGISTERED_SCHEMES):
+            for shards in (0, 4):
+                monitor = _build(scheme, config, places, units, shards)
+                for update in walk(units, seed=11, n=20):
+                    monitor.process(update)
+                results[(scheme, shards)] = [
+                    (r.place_id, r.safety) for r in monitor.top_k()
+                ]
+        reference = results[("naive", 0)]
+        assert reference == sorted(reference, key=lambda t: tie_key(t[1], t[0]))
+        # the straddle group (ids 100..105) is cut by ascending id.
+        tied = [pid for pid, _ in reference if pid >= 100]
+        assert tied == sorted(tied)
+        for key, got in results.items():
+            assert got == reference, key
+
+    def test_threshold_orders_by_tie_key(self):
+        from repro.ext import ThresholdCTUP
+
+        places, units = _tied_world()
+        config = CTUPConfig(k=3, delta=1, protection_range=0.1, granularity=8)
+        monitor = ThresholdCTUP(config, places, units, tau=10.0)
+        monitor.initialize()
+        for update in walk(units, seed=12, n=20):
+            monitor.process(update)
+        records = monitor.unsafe_places()
+        assert [(r.place_id, r.safety) for r in records] == sorted(
+            ((r.place_id, r.safety) for r in records),
+            key=lambda t: tie_key(t[1], t[0]),
+        )
+
+    def test_extent_orders_by_tie_key(self):
+        from repro.ext import ExtentCTUP, ExtentPlace
+
+        config = CTUPConfig(k=3, delta=1, protection_range=0.1, granularity=8)
+        rect = Rect(0.5, 0.5, 0.54, 0.54)
+        places = [ExtentPlace(100 + i, rect, 5) for i in range(6)]
+        places += [
+            ExtentPlace(i, Rect(0.1, 0.8, 0.12, 0.82), 1) for i in range(2)
+        ]
+        units = [Unit(0, Point(0.2, 0.2), 0.1), Unit(1, Point(0.7, 0.7), 0.1)]
+        monitor = ExtentCTUP(config, places, units)
+        monitor.initialize()
+        result = [(r.place_id, r.safety) for r in monitor.top_k()]
+        assert result == sorted(result, key=lambda t: tie_key(t[1], t[0]))
+        tied = [pid for pid, _ in result if pid >= 100]
+        assert tied == sorted(tied)
 
 
 class TestStreamFiles:

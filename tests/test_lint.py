@@ -915,7 +915,7 @@ class TestShippedTree:
             data = tomllib.load(handle)
         table = data["tool"]["reprolint"]
         assert "repro.core" in table["strict-typed-modules"]
-        assert data["project"]["version"] == "1.5.0"
+        assert data["project"]["version"] == "1.6.0"
         assert "repro.obs" in table["strict-typed-modules"]
 
 

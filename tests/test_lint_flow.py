@@ -1,5 +1,5 @@
 """The flow-sensitive reprolint layer: CFG construction, the dataflow
-solver, the call graph, the path-aware rules RPL011-RPL014 (bad and
+solver, the call graph, the path-aware rules RPL011-RPL015 (bad and
 good fixtures each), the SARIF reporter, the incremental cache
 (cold == warm), the --changed mode, suppression edge cases, and — the
 self-check — reprolint analysing its own flow package."""
@@ -962,12 +962,12 @@ class TestPhaseProtocol:
 
 class TestFlowRuleRegistry:
     def test_flow_rules_registered(self):
-        for code in ("RPL011", "RPL012", "RPL013", "RPL014"):
+        for code in ("RPL011", "RPL012", "RPL013", "RPL014", "RPL015"):
             assert code in RULES, code
 
     def test_only_rpl014_is_project_dependent(self):
         assert RULES["RPL014"].project_dependent
-        for code in ("RPL011", "RPL012", "RPL013"):
+        for code in ("RPL011", "RPL012", "RPL013", "RPL015"):
             assert not RULES[code].project_dependent, code
 
     def test_rule_signature_embeds_versions(self):
@@ -1272,6 +1272,145 @@ class TestSuppressionEdgeCases:
             module="repro.state.fixture",
         )
         assert codes_of(run_rules([fixture], "RPL011")) == ["RPL011"]
+
+
+# -- RPL015: catalog & epoch discipline ----------------------------------
+
+
+class TestCatalogDiscipline:
+    def test_direct_mutation_outside_owners_fires(self):
+        fixture = src(
+            """
+            def grow(monitor, place):
+                monitor.store.add_place(place)
+            """
+        )
+        result = run_rules([fixture], "RPL015")
+        assert codes_of(result) == ["RPL015"]
+        assert "journaled control event" in result.violations[0].message
+
+    def test_all_three_mutators_fire(self):
+        fixture = src(
+            """
+            def churn(store, place):
+                store.add_place(place)
+                store.remove_place(3)
+                store.reweight(3, 7)
+            """
+        )
+        assert codes_of(run_rules([fixture], "RPL015")) == ["RPL015"] * 3
+
+    def test_owning_packages_are_exempt(self):
+        for module in ("repro.storage.placestore", "repro.control.apply"):
+            fixture = src(
+                """
+                def grow(store, place):
+                    store.add_place(place)
+                """,
+                module=module,
+            )
+            assert codes_of(run_rules([fixture], "RPL015")) == []
+
+    def test_self_call_is_exempt(self):
+        fixture = src(
+            """
+            class Wrapper:
+                def add_place(self, place): ...
+
+                def grow(self, place):
+                    self.add_place(place)
+            """
+        )
+        assert codes_of(run_rules([fixture], "RPL015")) == []
+
+    def test_epoch_write_outside_control_fires(self):
+        fixture = src(
+            """
+            def bump(monitor):
+                monitor.epoch += 1
+            """,
+            module="repro.engine.fixture",
+        )
+        result = run_rules([fixture], "RPL015")
+        assert codes_of(result) == ["RPL015"]
+        assert "control plane" in result.violations[0].message
+
+    def test_epoch_write_allowed_in_control_and_monitor_self(self):
+        control = src(
+            """
+            def bump(monitor):
+                monitor.epoch += 1
+            """,
+            module="repro.control.apply",
+        )
+        monitor = src(
+            """
+            class CTUPMonitor:
+                def restore_state(self, state):
+                    self.epoch = int(state.get("epoch", 0))
+            """,
+            module="repro.core.monitor",
+        )
+        assert codes_of(run_rules([control, monitor], "RPL015")) == []
+
+    def test_epoch_write_on_foreign_monitor_fires_even_in_core(self):
+        fixture = src(
+            """
+            def sync(self, other):
+                other.epoch = self.epoch
+            """,
+            module="repro.core.monitor",
+        )
+        assert codes_of(run_rules([fixture], "RPL015")) == ["RPL015"]
+
+    def test_aliased_mutator_call_is_tracked_through_the_cfg(self):
+        fixture = src(
+            """
+            def grow(store, places):
+                write = store.add_place
+                for place in places:
+                    write(place)
+            """
+        )
+        result = run_rules([fixture], "RPL015")
+        assert codes_of(result) == ["RPL015"]
+        assert "alias" in result.violations[0].message
+
+    def test_cleared_alias_is_not_flagged(self):
+        fixture = src(
+            """
+            def grow(store, log, places):
+                write = store.add_place
+                write = log.append
+                for place in places:
+                    write(place)
+            """
+        )
+        result = run_rules([fixture], "RPL015")
+        # the rebinding clears the alias before any call.
+        assert codes_of(result) == []
+
+    def test_alias_bound_on_one_branch_still_fires(self):
+        fixture = src(
+            """
+            def grow(store, log, place, fast):
+                if fast:
+                    write = store.add_place
+                else:
+                    write = log.append
+                write(place)
+            """
+        )
+        assert codes_of(run_rules([fixture], "RPL015")) == ["RPL015"]
+
+    def test_reasoned_suppression_works(self):
+        fixture = src(
+            """
+            def grow(monitor, place):
+                monitor.store.add_place(place)  # reprolint: disable=RPL015 -- fixture exercises the bare-store path
+            """
+        )
+        assert codes_of(run_rules([fixture], "RPL015")) == []
 
 
 # -- the self-check ------------------------------------------------------

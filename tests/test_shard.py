@@ -253,7 +253,7 @@ class _FakeShard:
 class TestGlobalTopK:
     def test_rejects_bad_k_and_zero_shards(self):
         with pytest.raises(ValueError):
-            GlobalTopK(0)
+            GlobalTopK(-1)  # k == 0 is legal (KChanged(0) suspends)
         with pytest.raises(ValueError):
             GlobalTopK(3).merge([])
 
